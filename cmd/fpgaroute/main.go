@@ -1,0 +1,131 @@
+// Command fpgaroute synthesizes one of the paper's benchmark circuits and
+// routes it, optionally searching for the minimum channel width and
+// rendering the solution.
+//
+// Usage:
+//
+//	fpgaroute -circuit busc                  # route at the best known width
+//	fpgaroute -circuit alu4 -alg idom -min   # minimum-width search with IDOM
+//	fpgaroute -circuit busc -width 9 -svg out.svg -ascii
+//	fpgaroute -list                          # list available circuits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/render"
+	"fpgarouter/internal/router"
+)
+
+func main() {
+	var (
+		name     = flag.String("circuit", "busc", "benchmark circuit name")
+		alg      = flag.String("alg", "ikmb", "routing algorithm: kmb|zel|sph|ikmb|izel|isph|djka|dom|pfa|idom")
+		netlist  = flag.String("netlist", "", "route this netlist file instead of a synthesized benchmark")
+		critical = flag.String("critical", "", "comma-separated net IDs to route as critical nets (with idom)")
+		width    = flag.Int("width", 0, "channel width (0 = paper's best known)")
+		minW     = flag.Bool("min", false, "search for the minimum channel width")
+		passes   = flag.Int("passes", 20, "feasibility pass threshold")
+		seed     = flag.Int64("seed", 1, "netlist synthesis seed")
+		svgOut   = flag.String("svg", "", "write an SVG plot of the routed solution")
+		ascii    = flag.Bool("ascii", false, "print an ASCII channel-utilization map")
+		list     = flag.Bool("list", false, "list available benchmark circuits")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("3000-series (Table 2):")
+		for _, s := range circuits.Table2Circuits {
+			fmt.Printf("  %-10s %2dx%-2d  %4d nets\n", s.Name, s.Cols, s.Rows, s.TotalNets())
+		}
+		fmt.Println("4000-series (Tables 3-5):")
+		for _, s := range circuits.Table3Circuits {
+			fmt.Printf("  %-10s %2dx%-2d  %4d nets\n", s.Name, s.Cols, s.Rows, s.TotalNets())
+		}
+		return
+	}
+
+	var ckt *circuits.Circuit
+	var spec circuits.Spec
+	if *netlist != "" {
+		f, err := os.Open(*netlist)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ckt, err = circuits.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec = ckt.Spec
+		if spec.PaperIKMB == 0 {
+			spec.PaperIKMB = 8 // neutral starting width for external netlists
+		}
+	} else {
+		var ok bool
+		spec, ok = circuits.SpecByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown circuit %q (try -list)\n", *name)
+			os.Exit(2)
+		}
+		var err error
+		ckt, err = circuits.Synthesize(spec, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	opts := router.Options{Algorithm: *alg, MaxPasses: *passes}
+	if *critical != "" {
+		for _, tok := range strings.Split(*critical, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -critical net id %q\n", tok)
+				os.Exit(2)
+			}
+			opts.CriticalNets = append(opts.CriticalNets, id)
+		}
+	}
+
+	start := time.Now()
+	if *minW {
+		w, res, err := router.MinWidth(ckt, spec.PaperIKMB, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: minimum channel width %d (%d passes at that width, %.0f wirelength, %v)\n",
+			spec.Name, w, res.Passes, res.Wirelength, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	w := *width
+	if w == 0 {
+		w = spec.PaperIKMB
+	}
+	res, fab, err := router.RouteWithFabric(ckt, w, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routing failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s routed at width %d: %d pass(es), wirelength %.1f, max span utilization %d/%d, %v\n",
+		spec.Name, w, res.Passes, res.Wirelength, res.MaxUtil, w, time.Since(start).Round(time.Millisecond))
+	if *ascii {
+		fmt.Print(render.UtilizationASCII(fab))
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(render.SVG(fab, res)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("SVG written to %s\n", *svgOut)
+	}
+}

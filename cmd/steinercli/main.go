@@ -1,0 +1,76 @@
+// Command steinercli runs all eight tree constructions of the paper on a
+// random instance — a congested grid graph (Table 1 style) or a random
+// connected graph — and prints a side-by-side comparison of wirelength and
+// maximum source-sink pathlength.
+//
+// Usage:
+//
+//	steinercli                       # 5-pin net on an uncongested 20x20 grid
+//	steinercli -pins 8 -congest 20   # Table 1's medium congestion level
+//	steinercli -random -v 50 -e 1000 # the paper's CPU-time instance shape
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/experiments"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+func main() {
+	var (
+		pins    = flag.Int("pins", 5, "number of net pins (first is the source)")
+		k       = flag.Int("congest", 0, "pre-routed nets congesting the grid (Table 1: 0, 10, 20)")
+		seed    = flag.Int64("seed", time.Now().UnixNano(), "workload seed (default random)")
+		random  = flag.Bool("random", false, "use a random connected graph instead of a grid")
+		nNodes  = flag.Int("v", 50, "random graph nodes")
+		nEdges  = flag.Int("e", 1000, "random graph edges")
+		showOpt = flag.Bool("opt", true, "also compute the exact Steiner optimum (small nets)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	if *random {
+		g = graph.RandomConnected(rng, *nNodes, *nEdges, 10)
+	} else {
+		gg, err := congest.NewCongestedGrid(rng, *k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = gg.Graph
+	}
+	net := graph.RandomNet(rng, g, *pins)
+	cache := graph.NewSPTCache(g)
+	optPath := congest.OptimalMaxPathlength(g, net)
+
+	fmt.Printf("net: %v (source %d), |V|=%d |E|=%d, seed %d\n",
+		net, net[0], g.NumNodes(), g.NumEdges(), *seed)
+	fmt.Printf("%-6s %12s %12s %12s\n", "alg", "wirelength", "maxpath", "time")
+	for _, alg := range experiments.Table1Algorithms() {
+		start := time.Now()
+		tree, err := alg.Fn(cache, net)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Printf("%-6s failed: %v\n", alg.Name, err)
+			continue
+		}
+		mp := graph.MaxPathlength(g, tree, net[0], net[1:])
+		fmt.Printf("%-6s %12.2f %12.2f %12v\n", alg.Name, tree.Cost, mp, elapsed.Round(time.Microsecond))
+	}
+	fmt.Printf("%-6s %12s %12.2f\n", "OPTpath", "-", optPath)
+	if *showOpt && *pins <= steiner.MaxExactTerminals {
+		start := time.Now()
+		opt, err := steiner.ExactCost(cache, net)
+		if err == nil {
+			fmt.Printf("%-6s %12.2f %12s %12v (Dreyfus–Wagner)\n", "OPT", opt, "-", time.Since(start).Round(time.Microsecond))
+		}
+	}
+}

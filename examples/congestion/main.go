@@ -1,0 +1,73 @@
+// Congestion sweep: a miniature Table 1 at user-controlled congestion
+// levels, showing how the relative standing of the eight constructions
+// shifts as pre-routed nets consume the cheap edges: the iterated Steiner
+// trees keep their wirelength lead, while the arborescences' wirelength
+// premium grows with congestion (exactly the trend of Table 1).
+//
+//	go run ./examples/congestion -levels 0,5,10,20,40 -nets 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/experiments"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+func main() {
+	levels := flag.String("levels", "0,10,20,40", "comma-separated pre-routed net counts")
+	nets := flag.Int("nets", 20, "test nets per level")
+	pins := flag.Int("pins", 5, "pins per test net")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	algs := experiments.Table1Algorithms()
+	fmt.Printf("%d-pin nets on 20x20 grids, %d nets per level\n\n", *pins, *nets)
+	for _, tok := range strings.Split(*levels, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		sumWire := make([]float64, len(algs))
+		sumPath := make([]float64, len(algs))
+		meanW := 0.0
+		for n := 0; n < *nets; n++ {
+			g, err := congest.NewCongestedGrid(rng, k)
+			if err != nil {
+				panic(err)
+			}
+			meanW += g.MeanWeight()
+			net := graph.RandomNet(rng, g.Graph, *pins)
+			cache := graph.NewSPTCache(g.Graph)
+			kmb, err := steiner.KMB(cache, net)
+			if err != nil {
+				panic(err)
+			}
+			opt := congest.OptimalMaxPathlength(g.Graph, net)
+			for i, a := range algs {
+				tree, err := a.Fn(cache, net)
+				if err != nil {
+					panic(err)
+				}
+				sumWire[i] += (tree.Cost/kmb.Cost - 1) * 100
+				if opt > 0 {
+					mp := graph.MaxPathlength(g.Graph, tree, net[0], net[1:])
+					sumPath[i] += (mp/opt - 1) * 100
+				}
+			}
+		}
+		fmt.Printf("k=%d pre-routed nets (mean edge weight %.2f):\n", k, meanW/float64(*nets))
+		fmt.Printf("  %-6s %12s %12s\n", "alg", "wire% (KMB)", "path% (OPT)")
+		for i, a := range algs {
+			fmt.Printf("  %-6s %12.2f %12.2f\n", a.Name, sumWire[i]/float64(*nets), sumPath[i]/float64(*nets))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,64 @@
+// Critical-net routing: on a congested routing graph, compare the paper's
+// non-critical-net construction (IKMB, wirelength only) with its
+// critical-net arborescences (PFA, IDOM — optimal source-sink pathlengths,
+// wirelength second). This is the trade-off that motivates Section 4: as
+// congestion forces detours, pure wirelength minimization lets critical
+// paths grow, while the arborescences pin every path to its shortest
+// possible length for a small wirelength premium.
+//
+//	go run ./examples/criticalnet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	for _, k := range []int{0, 10, 20} {
+		// A 20×20 grid congested by k pre-routed nets (Table 1's levels).
+		g, err := congest.NewCongestedGrid(rng, k)
+		if err != nil {
+			panic(err)
+		}
+		// An 8-pin "critical" net.
+		net := graph.RandomNet(rng, g.Graph, 8)
+		cache := graph.NewSPTCache(g.Graph)
+
+		ikmb, err := core.IKMB(cache, net)
+		if err != nil {
+			panic(err)
+		}
+		pfa, err := arbor.PFA(cache, net)
+		if err != nil {
+			panic(err)
+		}
+		idom, err := core.IDOM(cache, net)
+		if err != nil {
+			panic(err)
+		}
+
+		// Verify the arborescence guarantee: every source-sink path in the
+		// PFA/IDOM trees equals the shortest-path distance in the graph.
+		for name, tree := range map[string]graph.Tree{"PFA": pfa, "IDOM": idom} {
+			if err := arbor.VerifyArborescence(cache, tree, net); err != nil {
+				panic(fmt.Sprintf("%s arborescence violated: %v", name, err))
+			}
+		}
+
+		mp := func(t graph.Tree) float64 {
+			return graph.MaxPathlength(g.Graph, t, net[0], net[1:])
+		}
+		fmt.Printf("congestion k=%-2d (mean edge weight %.2f):\n", k, g.MeanWeight())
+		fmt.Printf("  IKMB: wire %6.2f  maxpath %6.2f   (wirelength-only)\n", ikmb.Cost, mp(ikmb))
+		fmt.Printf("  PFA : wire %6.2f  maxpath %6.2f   (shortest paths guaranteed)\n", pfa.Cost, mp(pfa))
+		fmt.Printf("  IDOM: wire %6.2f  maxpath %6.2f   (shortest paths guaranteed)\n\n", idom.Cost, mp(idom))
+	}
+}

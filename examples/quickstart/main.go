@@ -1,0 +1,78 @@
+// Quickstart: route a single multi-pin net on a weighted grid graph with
+// every tree construction from the paper and compare wirelength against
+// maximum source-sink pathlength.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+func main() {
+	// A 10×10 grid routing graph with unit edge weights. Node (x, y) has
+	// ID y*10 + x.
+	g := graph.NewGrid(10, 10, 1)
+
+	// A 5-pin net: the first pin is the signal source, the rest are sinks.
+	net := []graph.NodeID{
+		g.Node(1, 1), // source
+		g.Node(8, 2),
+		g.Node(7, 7),
+		g.Node(2, 8),
+		g.Node(5, 5),
+	}
+
+	// All constructions share one shortest-paths cache per graph state.
+	cache := graph.NewSPTCache(g.Graph)
+
+	type construction struct {
+		name string
+		fn   func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error)
+	}
+	constructions := []construction{
+		{"KMB   (Steiner, 2x bound)", steiner.KMB},
+		{"ZEL   (Steiner, 11/6 bound)", steiner.ZEL},
+		{"IKMB  (iterated KMB)", core.IKMB},
+		{"IZEL  (iterated ZEL)", core.IZEL},
+		{"DJKA  (pruned Dijkstra)", arbor.DJKA},
+		{"DOM   (dominance arborescence)", arbor.DOM},
+		{"PFA   (path-folding arborescence)", arbor.PFA},
+		{"IDOM  (iterated dominance)", core.IDOM},
+	}
+
+	fmt.Println("5-pin net on a 10x10 grid:")
+	fmt.Printf("%-34s %10s %10s\n", "construction", "wirelength", "max path")
+	for _, c := range constructions {
+		tree, err := c.fn(cache, net)
+		if err != nil {
+			fmt.Printf("%-34s failed: %v\n", c.name, err)
+			continue
+		}
+		maxPath := graph.MaxPathlength(g.Graph, tree, net[0], net[1:])
+		fmt.Printf("%-34s %10.1f %10.1f\n", c.name, tree.Cost, maxPath)
+	}
+
+	// The exact Steiner optimum (Dreyfus–Wagner) for reference.
+	opt, err := steiner.ExactCost(cache, net)
+	if err == nil {
+		fmt.Printf("%-34s %10.1f\n", "exact Steiner optimum", opt)
+	}
+
+	// Arborescences guarantee every source-sink path is shortest: the
+	// best achievable max pathlength is the source's largest shortest-path
+	// distance to a sink.
+	spt := g.Dijkstra(net[0])
+	best := 0.0
+	for _, s := range net[1:] {
+		if spt.Dist[s] > best {
+			best = spt.Dist[s]
+		}
+	}
+	fmt.Printf("%-34s %21.1f\n", "optimal max pathlength", best)
+}

@@ -1,0 +1,3 @@
+module fpgarouter
+
+go 1.22

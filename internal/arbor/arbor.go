@@ -1,0 +1,143 @@
+// Package arbor implements graph Steiner arborescence constructions for
+// critical-net routing (Section 4 of Alexander & Robins, DAC 1995): trees in
+// which every source-sink path is a shortest path in the underlying graph,
+// with total wirelength as the secondary objective.
+//
+// It provides the dominance relation and MaxDom operator on arbitrary
+// weighted graphs, the DJKA baseline (pruned Dijkstra tree), the DOM
+// spanning-arborescence construction, and the PFA path-folding heuristic.
+// The iterated IDOM construction lives in package core with the other
+// iterated algorithms.
+package arbor
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgarouter/internal/graph"
+)
+
+// ErrNoRoute is returned when a net's pins are not all reachable from the
+// source through enabled edges.
+var ErrNoRoute = errors.New("arbor: net pins not connected")
+
+// Eps is the tolerance used when comparing path-length sums; edge weights in
+// this repository are small magnitudes, so an absolute epsilon suffices.
+const Eps = 1e-9
+
+// Dominates reports whether p dominates s with respect to source n0
+// (Definition 4.1): minpath(n0, p) = minpath(n0, s) + minpath(s, p), i.e.
+// some shortest path from the source to p passes through s.
+func Dominates(cache *graph.SPTCache, n0, p, s graph.NodeID) bool {
+	dp := cache.Tree(n0).Dist[p]
+	ds := cache.Tree(n0).Dist[s]
+	dsp := cache.Dist(s, p)
+	if dp == graph.Inf || ds == graph.Inf || dsp == graph.Inf {
+		return false
+	}
+	return dp >= ds+dsp-Eps && dp <= ds+dsp+Eps
+}
+
+// MaxDom returns a node m dominated by both p and q that maximizes
+// minpath(n0, m), i.e. the farthest point from the source through which
+// shortest paths to both p and q can be routed. The source itself is
+// dominated by every node, so MaxDom always exists for reachable p, q.
+// Ties are broken by smaller node ID for determinism.
+func MaxDom(cache *graph.SPTCache, n0, p, q graph.NodeID) graph.NodeID {
+	src := cache.Tree(n0)
+	dp := cache.Tree(p)
+	dq := cache.Tree(q)
+	dnp := src.Dist[p]
+	dnq := src.Dist[q]
+	best := graph.None
+	bestDist := -1.0
+	n := cache.Graph().NumNodes()
+	for v := 0; v < n; v++ {
+		dv := src.Dist[v]
+		if dv == graph.Inf {
+			continue
+		}
+		if dv+dp.Dist[v] > dnp+Eps || dv+dq.Dist[v] > dnq+Eps {
+			continue // v not dominated by p or by q
+		}
+		if dv > bestDist+Eps {
+			bestDist = dv
+			best = graph.NodeID(v)
+		}
+	}
+	return best
+}
+
+// checkNet validates the net and returns the source SPT.
+func checkNet(cache *graph.SPTCache, net []graph.NodeID) (*graph.SPT, error) {
+	if len(net) == 0 {
+		return nil, errors.New("arbor: empty net")
+	}
+	seen := make(map[graph.NodeID]bool, len(net))
+	for _, v := range net {
+		if v < 0 || int(v) >= cache.Graph().NumNodes() {
+			return nil, fmt.Errorf("arbor: pin %d out of range", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("arbor: duplicate pin %d", v)
+		}
+		seen[v] = true
+	}
+	src := cache.Tree(net[0])
+	for _, v := range net[1:] {
+		if !src.Reachable(v) {
+			return nil, ErrNoRoute
+		}
+	}
+	return src, nil
+}
+
+// DJKA is the Dijkstra-based GSA baseline of Section 5: compute a
+// shortest-paths tree rooted at the source, then delete edges not contained
+// in any source-to-sink path. Pathlengths are optimal by construction; no
+// effort is made to share wire between sinks beyond what the SPT happens to
+// share.
+func DJKA(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	src, err := checkNet(cache, net)
+	if err != nil {
+		return graph.Tree{}, err
+	}
+	seen := make(map[graph.EdgeID]bool)
+	var edges []graph.EdgeID
+	for _, sink := range net[1:] {
+		for _, id := range src.PathTo(sink) {
+			if !seen[id] {
+				seen[id] = true
+				edges = append(edges, id)
+			}
+		}
+	}
+	return graph.NewTree(cache.Graph(), edges), nil
+}
+
+// VerifyArborescence checks that tree t spans net, is a tree, and that the
+// path in t from the source (net[0]) to every sink has cost equal to the
+// shortest-path distance in the cache's graph. It returns the first
+// violation found, or nil.
+func VerifyArborescence(cache *graph.SPTCache, t graph.Tree, net []graph.NodeID) error {
+	g := cache.Graph()
+	if err := graph.ValidateTree(g, t, net); err != nil {
+		return err
+	}
+	if len(net) <= 1 {
+		return nil
+	}
+	src := cache.Tree(net[0])
+	td := graph.TreeDists(g, t, net[0])
+	for _, sink := range net[1:] {
+		want := src.Dist[sink]
+		got, ok := td[sink]
+		if !ok {
+			return fmt.Errorf("arbor: sink %d not in tree", sink)
+		}
+		if got > want+Eps {
+			return fmt.Errorf("arbor: sink %d path %.6f exceeds shortest %.6f", sink, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package arbor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgarouter/internal/graph"
+)
+
+func cacheFor(g *graph.Graph) *graph.SPTCache { return graph.NewSPTCache(g) }
+
+func TestDominatesLine(t *testing.T) {
+	// 0 -1- 1 -1- 2: node 2 dominates 1 (path 0→2 passes 1), not vice versa.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	c := cacheFor(g)
+	if !Dominates(c, 0, 2, 1) {
+		t.Fatal("2 should dominate 1")
+	}
+	if Dominates(c, 0, 1, 2) {
+		t.Fatal("1 should not dominate 2")
+	}
+	if !Dominates(c, 0, 2, 0) {
+		t.Fatal("every node dominates the source")
+	}
+	if !Dominates(c, 0, 2, 2) {
+		t.Fatal("every node dominates itself")
+	}
+}
+
+func TestDominatesOffPath(t *testing.T) {
+	// Diamond: 0-1, 0-2 (unit), 1-3, 2-3 (unit). 3 dominates both 1 and 2;
+	// 1 does not dominate 2.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	c := cacheFor(g)
+	if !Dominates(c, 0, 3, 1) || !Dominates(c, 0, 3, 2) {
+		t.Fatal("3 should dominate 1 and 2")
+	}
+	if Dominates(c, 0, 1, 2) || Dominates(c, 0, 2, 1) {
+		t.Fatal("siblings should not dominate each other")
+	}
+}
+
+func TestMaxDomGrid(t *testing.T) {
+	// 3×3 grid, source at (0,0). MaxDom((2,0),(0,2)) is the source;
+	// MaxDom((2,1),(1,2)) is (1,1).
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	n0 := g.Node(0, 0)
+	if m := MaxDom(c, n0, g.Node(2, 0), g.Node(0, 2)); m != n0 {
+		t.Fatalf("MaxDom of perpendicular arms = %d, want source %d", m, n0)
+	}
+	if m := MaxDom(c, n0, g.Node(2, 1), g.Node(1, 2)); m != g.Node(1, 1) {
+		t.Fatalf("MaxDom = %d, want %d", m, g.Node(1, 1))
+	}
+	// MaxDom of two collinear nodes is the nearer one.
+	if m := MaxDom(c, n0, g.Node(2, 0), g.Node(1, 0)); m != g.Node(1, 0) {
+		t.Fatalf("collinear MaxDom = %d, want %d", m, g.Node(1, 0))
+	}
+}
+
+func TestDJKALine(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	c := cacheFor(g)
+	net := []graph.NodeID{0, 2}
+	tr, err := DJKA(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost != 2 || len(tr.Edges) != 2 {
+		t.Fatalf("DJKA line: %+v", tr)
+	}
+	if err := VerifyArborescence(c, tr, net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDJKAPrunesOffPathEdges(t *testing.T) {
+	// Sinks share a prefix; the SPT contains extra nodes but DJKA keeps
+	// only edges on source-sink paths.
+	g := graph.NewGrid(4, 4, 1)
+	c := cacheFor(g.Graph)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(3, 0)}
+	tr, err := DJKA(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost != 3 {
+		t.Fatalf("cost = %v, want 3", tr.Cost)
+	}
+}
+
+func TestDJKANoRoute(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := DJKA(cacheFor(g), []graph.NodeID{0, 2}); err != ErrNoRoute {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDOMSharesPaths(t *testing.T) {
+	// Source (0,0); sinks (2,2) and (2,1): (2,2) dominates (2,1), so DOM
+	// connects (2,2) through (2,1), sharing the prefix.
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(2, 2), g.Node(2, 1)}
+	tr, err := DOM(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArborescence(c, tr, net); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost != 4 {
+		t.Fatalf("DOM cost = %v, want 4 (shared prefix)", tr.Cost)
+	}
+}
+
+func TestPFAUsesSteinerMergePoints(t *testing.T) {
+	// Source (0,0); sinks (2,1) and (1,2). DOM cannot share (neither sink
+	// dominates the other), but PFA merges at MaxDom = (1,1), saving wire.
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(2, 1), g.Node(1, 2)}
+	pfa, err := PFA(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArborescence(c, pfa, net); err != nil {
+		t.Fatal(err)
+	}
+	if pfa.Cost != 4 {
+		t.Fatalf("PFA cost = %v, want 4 (merge at (1,1))", pfa.Cost)
+	}
+	// No net node dominates another here, so DOM falls back to per-sink
+	// shortest paths; any sharing it gets is incidental (common SPT
+	// prefixes), so it can never beat PFA's explicit merge.
+	dom, err := DOM(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Cost < pfa.Cost {
+		t.Fatalf("DOM cost %v beat PFA cost %v", dom.Cost, pfa.Cost)
+	}
+}
+
+func TestSingleSinkAllAlgorithmsAreShortestPath(t *testing.T) {
+	g := graph.NewGrid(5, 5, 1)
+	c := cacheFor(g.Graph)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(4, 3)}
+	for name, alg := range map[string]func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error){
+		"DJKA": DJKA, "DOM": DOM, "PFA": PFA,
+	} {
+		tr, err := alg(c, net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Cost != 7 {
+			t.Fatalf("%s cost = %v, want 7", name, tr.Cost)
+		}
+	}
+}
+
+func TestSinglePinNets(t *testing.T) {
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	for name, alg := range map[string]func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error){
+		"DJKA": DJKA, "DOM": DOM, "PFA": PFA,
+	} {
+		tr, err := alg(c, []graph.NodeID{4})
+		if err != nil || len(tr.Edges) != 0 {
+			t.Fatalf("%s single pin: %+v %v", name, tr, err)
+		}
+	}
+}
+
+func TestDuplicatePinRejected(t *testing.T) {
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	if _, err := DOM(c, []graph.NodeID{0, 1, 1}); err == nil {
+		t.Fatal("duplicate pin accepted")
+	}
+}
+
+// Property: on random connected graphs all three constructions return
+// arborescences (valid trees with optimal source-sink pathlengths), and
+// PFA/DOM never use more wire than DJKA... (not guaranteed per-instance;
+// only the shortest-path property and validity are universal).
+func TestQuickArborescenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := graph.RandomConnected(rng, n, n*3, 8)
+		k := 2 + rng.Intn(5)
+		if k > n {
+			k = n
+		}
+		net := graph.RandomNet(rng, g, k)
+		c := cacheFor(g)
+		for _, alg := range []func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error){DJKA, DOM, PFA} {
+			tr, err := alg(c, net)
+			if err != nil {
+				return false
+			}
+			if VerifyArborescence(c, tr, net) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero-weight edges are used by the paper's worst-case gadgets; the
+// constructions must remain acyclic and grounded.
+func TestZeroWeightEdgesSafe(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 0)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(0, 5, 2)
+	c := cacheFor(g)
+	net := []graph.NodeID{0, 3, 5}
+	for name, alg := range map[string]func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error){
+		"DJKA": DJKA, "DOM": DOM, "PFA": PFA,
+	} {
+		tr, err := alg(c, net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyArborescence(c, tr, net); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package arbor
+
+import (
+	"sort"
+
+	"fpgarouter/internal/graph"
+)
+
+// before reports whether node a precedes node b in the well-founded order
+// used to ground arborescence constructions at the source: the source is the
+// absolute minimum; other nodes are ordered by (distance from source, node
+// ID). Connecting each node only to dominated nodes that precede it makes
+// the union of connection paths acyclic even in the presence of zero-weight
+// edges (which the worst-case gadgets of Figures 10 and 14 use).
+func before(src *graph.SPT, n0, a, b graph.NodeID) bool {
+	if a == n0 {
+		return b != n0
+	}
+	if b == n0 {
+		return false
+	}
+	da, db := src.Dist[a], src.Dist[b]
+	if da < db-Eps {
+		return true
+	}
+	if db < da-Eps {
+		return false
+	}
+	return a < b
+}
+
+// DOM is the spanning-arborescence heuristic of Section 4.2: a restricted
+// PFA in which merge points are constrained to net nodes. Each sink is
+// connected by a shortest path to the nearest net node it dominates
+// (equivalently: a minimum-cost shortest-paths tree over the distance
+// graph), and the union is finalized into a shortest-paths tree.
+//
+// DOM is the base construction iterated by core.IDOM.
+func DOM(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	src, err := checkNet(cache, net)
+	if err != nil {
+		return graph.Tree{}, err
+	}
+	if len(net) == 1 {
+		return graph.Tree{Edges: []graph.EdgeID{}}, nil
+	}
+	n0 := net[0]
+	var union []graph.EdgeID
+	for _, ni := range net[1:] {
+		parent := chooseDominatedParent(cache, src, n0, ni, net)
+		union = append(union, cache.Path(parent, ni)...)
+	}
+	return finalize(cache, union, net)
+}
+
+// chooseDominatedParent returns the member of pool nearest to v (by
+// shortest-path distance) that v dominates and that precedes v in the
+// grounding order. The source always qualifies, so a parent always exists.
+// Distances are read through the cache's symmetric lookup, so evaluating a
+// candidate Steiner node v costs no fresh Dijkstra runs.
+func chooseDominatedParent(cache *graph.SPTCache, src *graph.SPT, n0, v graph.NodeID, pool []graph.NodeID) graph.NodeID {
+	dv := src.Dist[v]
+	best := graph.None
+	bestD := graph.Inf
+	for _, s := range pool {
+		if s == v || !before(src, n0, s, v) {
+			continue
+		}
+		dsv := cache.Dist(s, v)
+		if dsv == graph.Inf {
+			continue
+		}
+		// v dominates s: dist(n0,v) = dist(n0,s) + dist(s,v).
+		if ds := src.Dist[s]; ds+dsv > dv+Eps {
+			continue
+		}
+		if dsv < bestD-Eps || (dsv < bestD+Eps && (best == graph.None || before(src, n0, s, best))) {
+			bestD = dsv
+			best = s
+		}
+	}
+	return best
+}
+
+// finalize turns a union of shortest paths into a shortest-paths tree: it
+// runs Dijkstra restricted to the union's edges, extracts the tree paths
+// from the source to every sink, and keeps only those. Provided the union
+// contains a shortest (in G) path to every sink — which the DOM/PFA
+// constructions guarantee — the result is an arborescence over G.
+//
+// The Dijkstra here works on compact local structures sized by the union,
+// not by |V(G)|: this is the hot path of every IDOM candidate evaluation.
+func finalize(cache *graph.SPTCache, union []graph.EdgeID, net []graph.NodeID) (graph.Tree, error) {
+	g := cache.Graph()
+	adj := make(map[graph.NodeID][]graph.Arc, 2*len(union))
+	dedup := make(map[graph.EdgeID]bool, len(union))
+	for _, id := range union {
+		if dedup[id] {
+			continue
+		}
+		dedup[id] = true
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, ID: id})
+		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, ID: id})
+	}
+	type item struct {
+		d float64
+		v graph.NodeID
+	}
+	dist := make(map[graph.NodeID]float64, len(adj))
+	parent := make(map[graph.NodeID]graph.EdgeID, len(adj))
+	prev := make(map[graph.NodeID]graph.NodeID, len(adj))
+	done := make(map[graph.NodeID]bool, len(adj))
+	heap := []item{{0, net[0]}}
+	dist[net[0]] = 0
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	for len(heap) > 0 {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < len(heap) && heap[l].d < heap[s].d {
+				s = l
+			}
+			if r < len(heap) && heap[r].d < heap[s].d {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		u := top.v
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range adj[u] {
+			if done[a.To] {
+				continue
+			}
+			nd := dist[u] + g.Weight(a.ID)
+			if old, ok := dist[a.To]; !ok || nd < old {
+				dist[a.To] = nd
+				parent[a.To] = a.ID
+				prev[a.To] = u
+				push(item{nd, a.To})
+			}
+		}
+	}
+	seen := make(map[graph.EdgeID]bool)
+	var edges []graph.EdgeID
+	for _, sink := range net[1:] {
+		if _, ok := dist[sink]; !ok {
+			return graph.Tree{}, ErrNoRoute
+		}
+		for v := sink; v != net[0]; v = prev[v] {
+			id := parent[v]
+			if seen[id] {
+				break // the rest of the path to the source is shared
+			}
+			seen[id] = true
+			edges = append(edges, id)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return graph.NewTree(g, edges), nil
+}

@@ -1,0 +1,100 @@
+package arbor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgarouter/internal/graph"
+)
+
+// intGrid returns a grid graph with integer weights drawn from {1, 2, 3},
+// so dominance equalities are exact in floating point.
+func intGrid(rng *rand.Rand, w, h int) *graph.GridGraph {
+	g := graph.NewGrid(w, h, 1)
+	for id := 0; id < g.NumEdges(); id++ {
+		g.SetWeight(graph.EdgeID(id), float64(1+rng.Intn(3)))
+	}
+	return g
+}
+
+// Property: the dominance relation (w.r.t. a fixed source) is reflexive
+// and transitive, and dominated nodes are never farther from the source.
+func TestQuickDominanceIsPreorder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := intGrid(rng, 4+rng.Intn(3), 4+rng.Intn(3))
+		c := cacheFor(g.Graph)
+		n0 := graph.NodeID(rng.Intn(g.NumNodes()))
+		src := c.Tree(n0)
+		nodes := make([]graph.NodeID, 6)
+		for i := range nodes {
+			nodes[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		for _, p := range nodes {
+			if !Dominates(c, n0, p, p) {
+				return false // reflexivity
+			}
+			if !Dominates(c, n0, p, n0) {
+				return false // everything dominates the source
+			}
+			for _, s := range nodes {
+				if Dominates(c, n0, p, s) && src.Dist[s] > src.Dist[p]+Eps {
+					return false // dominated nodes are nearer
+				}
+				for _, r := range nodes {
+					if Dominates(c, n0, p, s) && Dominates(c, n0, s, r) &&
+						!Dominates(c, n0, p, r) {
+						return false // transitivity
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxDom(p, q) is dominated by both p and q, and no node
+// dominated by both lies strictly farther from the source.
+func TestQuickMaxDomIsMaximalCommonDominated(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := intGrid(rng, 4+rng.Intn(3), 4+rng.Intn(3))
+		c := cacheFor(g.Graph)
+		n0 := graph.NodeID(rng.Intn(g.NumNodes()))
+		p := graph.NodeID(rng.Intn(g.NumNodes()))
+		q := graph.NodeID(rng.Intn(g.NumNodes()))
+		m := MaxDom(c, n0, p, q)
+		if m == graph.None {
+			return false // source always qualifies
+		}
+		if !Dominates(c, n0, p, m) || !Dominates(c, n0, q, m) {
+			return false
+		}
+		src := c.Tree(n0)
+		for v := 0; v < g.NumNodes(); v++ {
+			vv := graph.NodeID(v)
+			if Dominates(c, n0, p, vv) && Dominates(c, n0, q, vv) &&
+				src.Dist[vv] > src.Dist[m]+Eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MaxDom of a node with itself is the node.
+func TestMaxDomSelf(t *testing.T) {
+	g := graph.NewGrid(4, 4, 1)
+	c := cacheFor(g.Graph)
+	p := g.Node(3, 2)
+	if m := MaxDom(c, g.Node(0, 0), p, p); m != p {
+		t.Fatalf("MaxDom(p,p) = %d, want %d", m, p)
+	}
+}

@@ -1,0 +1,119 @@
+package arbor
+
+import (
+	"sort"
+
+	"fpgarouter/internal/graph"
+)
+
+// pairRec is a cached MaxDom computation for an unordered active pair.
+type pairRec struct {
+	p, q graph.NodeID
+	m    graph.NodeID
+	dist float64 // minpath(n0, m)
+}
+
+// PFA is the Path-Folding Arborescence heuristic of Section 4.1, the graph
+// generalization of the RSA construction of Rao et al.: starting from the
+// net, repeatedly replace the pair {p, q} whose MaxDom(p, q) lies farthest
+// from the source with that single merge point, then connect every produced
+// node to the nearest node it dominates using shortest paths.
+//
+// The performance ratio is 2 on grid graphs (tight, Figure 11) and Θ(N) in
+// the worst case on arbitrary weighted graphs (Figure 10); in practice its
+// wirelength is on par with the best Steiner tree heuristics while keeping
+// every source-sink path shortest.
+func PFA(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	src, err := checkNet(cache, net)
+	if err != nil {
+		return graph.Tree{}, err
+	}
+	if len(net) == 1 {
+		return graph.Tree{Edges: []graph.EdgeID{}}, nil
+	}
+	n0 := net[0]
+
+	// M accumulates the nodes to be spanned: the net plus every MaxDom
+	// merge point produced during folding.
+	inM := make(map[graph.NodeID]bool, 2*len(net))
+	M := append([]graph.NodeID(nil), net...)
+	for _, v := range net {
+		inM[v] = true
+	}
+
+	// Active set and the list of cached MaxDom records. Records whose p or
+	// q has been deactivated are skipped lazily (the paper keeps an ordered
+	// list keyed by decreasing MaxDom distance; a rescan over O(|N|^2)
+	// records is equivalent and simpler).
+	active := make(map[graph.NodeID]bool, len(net))
+	var act []graph.NodeID
+	for _, v := range net {
+		active[v] = true
+		act = append(act, v)
+	}
+	var recs []pairRec
+	for i := 0; i < len(act); i++ {
+		for j := i + 1; j < len(act); j++ {
+			p, q := act[i], act[j]
+			m := MaxDom(cache, n0, p, q)
+			recs = append(recs, pairRec{p, q, m, src.Dist[m]})
+		}
+	}
+
+	nActive := len(act)
+	for nActive > 1 {
+		// Find the valid record with maximum minpath(n0, m); tie-break by
+		// (m, p, q) for determinism.
+		best := -1
+		for i, r := range recs {
+			if !active[r.p] || !active[r.q] {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := recs[best]
+			if r.dist > b.dist+Eps ||
+				(r.dist > b.dist-Eps && (r.m < b.m || (r.m == b.m && (r.p < b.p || (r.p == b.p && r.q < b.q))))) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // no valid pair (cannot happen with nActive > 1)
+		}
+		r := recs[best]
+		active[r.p] = false
+		active[r.q] = false
+		nActive -= 2
+		if !inM[r.m] {
+			inM[r.m] = true
+			M = append(M, r.m)
+		}
+		if !active[r.m] {
+			active[r.m] = true
+			nActive++
+			// New pairs involving the merge point.
+			for _, x := range act {
+				if active[x] && x != r.m {
+					m := MaxDom(cache, n0, r.m, x)
+					recs = append(recs, pairRec{r.m, x, m, src.Dist[m]})
+				}
+			}
+			act = append(act, r.m)
+		}
+	}
+
+	// Connect each node of M to the nearest node of M that it dominates
+	// (grounded at the source via the well-founded order in before).
+	var union []graph.EdgeID
+	for _, p := range M {
+		if p == n0 {
+			continue
+		}
+		s := chooseDominatedParent(cache, src, n0, p, M)
+		union = append(union, cache.Tree(s).PathTo(p)...)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	return finalize(cache, union, net)
+}

@@ -1,0 +1,184 @@
+package arbor
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgarouter/internal/graph"
+)
+
+// This file implements the two wirelength/radius trade-off baselines the
+// paper positions PFA and IDOM against (Section 2): the bounded-radius
+// bounded-cost construction of Cong, Kahng, Robins, Sarrafzadeh and Wong
+// (BRBC), and the Prim–Dijkstra trade-off of Alpert, Hu, Huang, Kahng and
+// Karger (AHHK). Both interpolate between a minimum spanning tree and a
+// shortest-paths tree; neither can produce a shortest-paths tree of
+// minimum wirelength, which is exactly the gap the arborescence
+// constructions close.
+
+// PrimDijkstra builds a routing tree with the AHHK trade-off parameter
+// c ∈ [0, 1]: the tree over the net's distance graph is grown by
+// repeatedly attaching the terminal v minimizing
+//
+//	c·ℓ(u) + dist(u, v)
+//
+// over tree nodes u, where ℓ(u) is u's pathlength from the source in the
+// growing tree. c = 0 degenerates to Prim (an MST over the distance graph,
+// KMB-like wirelength), c = 1 to Dijkstra (a shortest-paths star, DJKA-like
+// radius). The distance-graph tree is expanded into shortest paths and
+// finalized into a tree over the underlying graph.
+func PrimDijkstra(cache *graph.SPTCache, net []graph.NodeID, c float64) (graph.Tree, error) {
+	if c < 0 || c > 1 {
+		return graph.Tree{}, fmt.Errorf("arbor: Prim-Dijkstra parameter c=%v outside [0,1]", c)
+	}
+	if _, err := checkNet(cache, net); err != nil {
+		return graph.Tree{}, err
+	}
+	if len(net) == 1 {
+		return graph.Tree{Edges: []graph.EdgeID{}}, nil
+	}
+	k := len(net)
+	inTree := make([]bool, k)
+	pathLen := make([]float64, k) // ℓ(v): pathlength from source in the tree
+	bestKey := make([]float64, k)
+	bestFrom := make([]int, k)
+	for i := range bestKey {
+		bestKey[i] = graph.Inf
+		bestFrom[i] = -1
+	}
+	bestKey[0] = 0
+	var union []graph.EdgeID
+	for iter := 0; iter < k; iter++ {
+		u := -1
+		for v := 0; v < k; v++ {
+			if !inTree[v] && (u < 0 || bestKey[v] < bestKey[u]) {
+				u = v
+			}
+		}
+		if bestKey[u] == graph.Inf {
+			return graph.Tree{}, ErrNoRoute
+		}
+		inTree[u] = true
+		if from := bestFrom[u]; from >= 0 {
+			pathLen[u] = pathLen[from] + cache.Dist(net[from], net[u])
+			union = append(union, cache.Path(net[from], net[u])...)
+		}
+		for v := 0; v < k; v++ {
+			if inTree[v] {
+				continue
+			}
+			key := c*pathLen[u] + cache.Dist(net[u], net[v])
+			if key < bestKey[v] {
+				bestKey[v] = key
+				bestFrom[v] = u
+			}
+		}
+	}
+	return finalize(cache, union, net)
+}
+
+// BRBC builds a bounded-radius bounded-cost routing tree with parameter
+// eps ≥ 0: the tree's radius is at most (1+eps) times the shortest-path
+// radius, and its cost at most (1 + 2/eps) times the distance-graph MST.
+// It walks a depth-first tour of the distance-graph MST, accumulating the
+// tour length and splicing in a direct shortest path from the source
+// whenever the accumulated slack would violate the radius bound (the
+// construction of Cong et al., adapted to the net's distance graph).
+// eps = 0 yields a shortest-paths star (Dijkstra-like).
+func BRBC(cache *graph.SPTCache, net []graph.NodeID, eps float64) (graph.Tree, error) {
+	if eps < 0 {
+		return graph.Tree{}, fmt.Errorf("arbor: BRBC parameter eps=%v negative", eps)
+	}
+	src, err := checkNet(cache, net)
+	if err != nil {
+		return graph.Tree{}, err
+	}
+	if len(net) == 1 {
+		return graph.Tree{Edges: []graph.EdgeID{}}, nil
+	}
+	k := len(net)
+
+	// Distance-graph MST (Prim), kept as an adjacency list for the tour.
+	parent := make([]int, k)
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	for i := range best {
+		best[i] = graph.Inf
+		parent[i] = -1
+	}
+	best[0] = 0
+	adj := make([][]int, k)
+	for iter := 0; iter < k; iter++ {
+		u := -1
+		for v := 0; v < k; v++ {
+			if !inTree[v] && (u < 0 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		if best[u] == graph.Inf {
+			return graph.Tree{}, ErrNoRoute
+		}
+		inTree[u] = true
+		if parent[u] >= 0 {
+			adj[parent[u]] = append(adj[parent[u]], u)
+			adj[u] = append(adj[u], parent[u])
+		}
+		for v := 0; v < k; v++ {
+			if !inTree[v] {
+				if d := cache.Dist(net[u], net[v]); d < best[v] {
+					best[v] = d
+					parent[v] = u
+				}
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i]) // deterministic tour
+	}
+
+	// Depth-first traversal from the source. Each terminal keeps its MST
+	// parent edge while its tree pathlength stays within (1+eps) of its
+	// shortest-path radius; otherwise a direct shortest path from the
+	// source is spliced in (resetting its pathlength to the radius). This
+	// enforces the BRBC radius bound directly; the spliced paths are the
+	// construction's extra cost, bounded by the tour-charging argument of
+	// Cong et al.
+	type edgePick struct{ u, v int }
+	var picks []edgePick
+	visited := make([]bool, k)
+	// treeDist[v]: v's pathlength from the source through the picked edges.
+	treeDist := make([]float64, k)
+	var dfs func(int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			radius := src.Dist[net[v]]
+			if through := treeDist[u] + cache.Dist(net[u], net[v]); through <= (1+eps)*radius+Eps {
+				// Keep the MST edge: the radius bound still holds.
+				picks = append(picks, edgePick{u, v})
+				treeDist[v] = through
+			} else {
+				// Splice in a direct shortest path from the source.
+				picks = append(picks, edgePick{0, v})
+				treeDist[v] = radius
+			}
+			dfs(v)
+		}
+	}
+	dfs(0)
+
+	var union []graph.EdgeID
+	for _, p := range picks {
+		union = append(union, cache.Path(net[p.u], net[p.v])...)
+	}
+	return finalize(cache, union, net)
+}
+
+// Radius returns the maximum source-sink tree pathlength of t (the radius
+// criterion the trade-off constructions bound).
+func Radius(cache *graph.SPTCache, t graph.Tree, net []graph.NodeID) float64 {
+	return graph.MaxPathlength(cache.Graph(), t, net[0], net[1:])
+}

@@ -1,0 +1,161 @@
+package arbor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgarouter/internal/graph"
+)
+
+func TestPrimDijkstraEndpoints(t *testing.T) {
+	// At c = 1 the construction behaves like a shortest-paths tree: every
+	// sink's tree pathlength equals its graph distance. At c = 0 it is a
+	// distance-graph MST (KMB-like): wirelength no worse than c = 1's.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(rng, 30, 90, 7)
+		net := graph.RandomNet(rng, g, 6)
+		c := cacheFor(g)
+		spt, err := PrimDijkstra(c, net, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyArborescence(c, spt, net); err != nil {
+			t.Fatalf("c=1 tree is not an arborescence: %v", err)
+		}
+		mstLike, err := PrimDijkstra(c, net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.ValidateTree(g, mstLike, net); err != nil {
+			t.Fatal(err)
+		}
+		if mstLike.Cost > spt.Cost+1e-9 && trial == -1 {
+			// Not a hard guarantee per instance; kept as documentation of
+			// the expected trend (asserted on aggregate below).
+			t.Fatal("unexpected")
+		}
+	}
+}
+
+func TestPrimDijkstraMonotoneTradeoffAggregate(t *testing.T) {
+	// Across many instances, average radius decreases and average cost
+	// increases as c goes 0 → 1.
+	rng := rand.New(rand.NewSource(10))
+	cs := []float64{0, 0.5, 1}
+	sumCost := make([]float64, len(cs))
+	sumRad := make([]float64, len(cs))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomConnected(rng, 40, 120, 7)
+		net := graph.RandomNet(rng, g, 7)
+		c := cacheFor(g)
+		for i, cv := range cs {
+			tr, err := PrimDijkstra(c, net, cv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumCost[i] += tr.Cost
+			sumRad[i] += Radius(c, tr, net)
+		}
+	}
+	if !(sumRad[0] >= sumRad[1] && sumRad[1] >= sumRad[2]) {
+		t.Fatalf("radius not decreasing in c: %v", sumRad)
+	}
+	if sumCost[2] < sumCost[0] {
+		t.Fatalf("cost at c=1 below cost at c=0 on aggregate: %v", sumCost)
+	}
+}
+
+func TestPrimDijkstraRejectsBadParameter(t *testing.T) {
+	g := graph.NewGrid(3, 3, 1)
+	c := cacheFor(g.Graph)
+	if _, err := PrimDijkstra(c, []graph.NodeID{0, 8}, -0.1); err == nil {
+		t.Fatal("negative c accepted")
+	}
+	if _, err := PrimDijkstra(c, []graph.NodeID{0, 8}, 1.5); err == nil {
+		t.Fatal("c > 1 accepted")
+	}
+}
+
+func TestBRBCRadiusBound(t *testing.T) {
+	// The defining property: tree radius ≤ (1+eps) × shortest-path radius.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, 30, 90, 7)
+		net := graph.RandomNet(rng, g, 2+rng.Intn(6))
+		c := cacheFor(g)
+		for _, eps := range []float64{0, 0.25, 1, 4} {
+			tr, err := BRBC(c, net, eps)
+			if err != nil {
+				return false
+			}
+			if graph.ValidateTree(g, tr, net) != nil {
+				return false
+			}
+			src := c.Tree(net[0])
+			td := graph.TreeDists(g, tr, net[0])
+			for _, s := range net[1:] {
+				if td[s] > (1+eps)*src.Dist[s]+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBRBCZeroEpsIsShortestPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := graph.RandomConnected(rng, 30, 90, 7)
+	net := graph.RandomNet(rng, g, 6)
+	c := cacheFor(g)
+	tr, err := BRBC(c, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArborescence(c, tr, net); err != nil {
+		t.Fatalf("eps=0 BRBC not an arborescence: %v", err)
+	}
+}
+
+func TestBRBCRejectsNegativeEps(t *testing.T) {
+	g := graph.NewGrid(3, 3, 1)
+	if _, err := BRBC(cacheFor(g.Graph), []graph.NodeID{0, 8}, -1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+// The paper's Section 2 claim: tuned fully toward pathlength, the trade-off
+// methods produce plain shortest-paths trees — PFA/IDOM achieve the same
+// optimal pathlength with no more (usually less) wirelength.
+func TestTradeoffMethodsCannotBeatPFAAtOptimalRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var pdCost, brbcCost, pfaCost float64
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(rng, 40, 120, 7)
+		net := graph.RandomNet(rng, g, 6)
+		c := cacheFor(g)
+		pd, err := PrimDijkstra(c, net, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := BRBC(c, net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := PFA(c, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdCost += pd.Cost
+		brbcCost += br.Cost
+		pfaCost += pf.Cost
+	}
+	if pfaCost > pdCost+1e-9 || pfaCost > brbcCost+1e-9 {
+		t.Fatalf("PFA aggregate %v should not exceed PD(1) %v or BRBC(0) %v", pfaCost, pdCost, brbcCost)
+	}
+}

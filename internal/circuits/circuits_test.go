@@ -1,0 +1,174 @@
+package circuits
+
+import (
+	"testing"
+
+	"fpgarouter/internal/fpga"
+)
+
+func TestSpecTotalsMatchPaper(t *testing.T) {
+	// Table 2 totals: 1744 nets = 1268 + 352 + 124.
+	var nets, n23, n410, nOver int
+	for _, s := range Table2Circuits {
+		nets += s.TotalNets()
+		n23 += s.Nets2_3
+		n410 += s.Nets4_10
+		nOver += s.NetsOver10
+	}
+	if nets != 1744 || n23 != 1268 || n410 != 352 || nOver != 124 {
+		t.Fatalf("table 2 totals: %d %d %d %d", nets, n23, n410, nOver)
+	}
+	// Table 3 totals: 1710 nets = 1154 + 454 + 102.
+	nets, n23, n410, nOver = 0, 0, 0, 0
+	for _, s := range Table3Circuits {
+		nets += s.TotalNets()
+		n23 += s.Nets2_3
+		n410 += s.Nets4_10
+		nOver += s.NetsOver10
+	}
+	if nets != 1710 || n23 != 1154 || n410 != 454 || nOver != 102 {
+		t.Fatalf("table 3 totals: %d %d %d %d", nets, n23, n410, nOver)
+	}
+	// Published comparator totals: CGE 55; SEGA 118; GBP 110; paper router
+	// 45 (3000) and 94 (4000).
+	cge, ours3 := 0, 0
+	for _, s := range Table2Circuits {
+		cge += s.CGE
+		ours3 += s.PaperIKMB
+	}
+	if cge != 55 || ours3 != 45 {
+		t.Fatalf("table 2 widths: CGE %d ours %d", cge, ours3)
+	}
+	sega, gbp, ours4, pfa, idom := 0, 0, 0, 0, 0
+	for _, s := range Table3Circuits {
+		sega += s.SEGA
+		gbp += s.GBP
+		ours4 += s.PaperIKMB
+		pfa += s.PaperPFA
+		idom += s.PaperIDOM
+	}
+	if sega != 118 || gbp != 110 || ours4 != 94 {
+		t.Fatalf("table 3 widths: SEGA %d GBP %d ours %d", sega, gbp, ours4)
+	}
+	if pfa != 110 || idom != 106 {
+		t.Fatalf("table 4 widths: PFA %d IDOM %d", pfa, idom)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("busc")
+	if !ok || s.Cols != 12 || s.Rows != 13 {
+		t.Fatalf("busc lookup: %+v %v", s, ok)
+	}
+	if _, ok := SpecByName("nonesuch"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestSynthesizeMatchesHistogram(t *testing.T) {
+	for _, spec := range append(append([]Spec(nil), Table2Circuits...), Table3Circuits...) {
+		ckt, err := Synthesize(spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(ckt.Nets) != spec.TotalNets() {
+			t.Fatalf("%s: %d nets, want %d", spec.Name, len(ckt.Nets), spec.TotalNets())
+		}
+		n23, n410, nOver := ckt.PinHistogram()
+		if n23 != spec.Nets2_3 || n410 != spec.Nets4_10 || nOver != spec.NetsOver10 {
+			t.Fatalf("%s: histogram %d/%d/%d, want %d/%d/%d",
+				spec.Name, n23, n410, nOver, spec.Nets2_3, spec.Nets4_10, spec.NetsOver10)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(Table2Circuits[0], 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(Table2Circuits[0], 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nets {
+		if len(a.Nets[i].Pins) != len(b.Nets[i].Pins) {
+			t.Fatalf("net %d differs in size", i)
+		}
+		for j := range a.Nets[i].Pins {
+			if a.Nets[i].Pins[j] != b.Nets[i].Pins[j] {
+				t.Fatalf("net %d pin %d differs", i, j)
+			}
+		}
+	}
+	c, err := Synthesize(Table2Circuits[0], 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nets {
+		for j := range a.Nets[i].Pins {
+			if j >= len(c.Nets[i].Pins) || a.Nets[i].Pins[j] != c.Nets[i].Pins[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical netlists")
+	}
+}
+
+func TestSynthesizePinsUniqueAndDistinctBlocks(t *testing.T) {
+	ckt, err := Synthesize(Table3Circuits[0], 7) // alu4
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[fpga.Pin]bool)
+	for _, n := range ckt.Nets {
+		if len(n.Pins) < 2 {
+			t.Fatalf("net %d has %d pins", n.ID, len(n.Pins))
+		}
+		blocks := make(map[[2]int]bool)
+		for _, p := range n.Pins {
+			if seen[p] {
+				t.Fatalf("pin %v used by two nets", p)
+			}
+			seen[p] = true
+			key := [2]int{p.X, p.Y}
+			if blocks[key] {
+				t.Fatalf("net %d touches block (%d,%d) twice", n.ID, p.X, p.Y)
+			}
+			blocks[key] = true
+			if p.X < 0 || p.X >= ckt.Cols || p.Y < 0 || p.Y >= ckt.Rows {
+				t.Fatalf("pin %v outside array", p)
+			}
+		}
+	}
+}
+
+func TestSynthesizeLocalityBias(t *testing.T) {
+	// Mean sink distance should be well below the uniform-placement
+	// expectation (≈ (Cols+Rows)/3 for uniform points).
+	spec := Table2Circuits[4] // z03, 26×27
+	ckt, err := Synthesize(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var cnt int
+	for _, n := range ckt.Nets {
+		src := n.Pins[0]
+		for _, p := range n.Pins[1:] {
+			sum += float64(absInt(p.X-src.X) + absInt(p.Y-src.Y))
+			cnt++
+		}
+	}
+	mean := sum / float64(cnt)
+	uniform := float64(spec.Cols+spec.Rows) / 3.0
+	if mean >= uniform {
+		t.Fatalf("mean sink distance %.2f not below uniform %.2f; no locality", mean, uniform)
+	}
+	if mean < 1 {
+		t.Fatalf("mean sink distance %.2f implausibly small", mean)
+	}
+}

@@ -1,0 +1,174 @@
+package circuits
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fpgarouter/internal/fpga"
+)
+
+// The netlist text format.
+//
+// A circuit file is line-oriented; '#' starts a comment, blank lines are
+// ignored. The header names the circuit, its FPGA family and array size;
+// each net line lists its pins as x,y,SIDE,index tuples (SIDE one of
+// N/E/S/W), the first pin being the signal source:
+//
+//	circuit busc 3000 12 13
+//	net 0 3,4,N,0 5,4,S,1 3,6,E,0
+//	net 1 0,0,E,0 1,1,W,0
+//
+// This is the interchange format for cmd/fpgaroute's -netlist flag and the
+// Write/Parse round trip below.
+
+// WriteTo serializes the circuit in the netlist text format.
+func (c *Circuit) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	series := "4000"
+	if c.Series == Series3000 {
+		series = "3000"
+	}
+	if err := count(fmt.Fprintf(bw, "# fpgarouter netlist\ncircuit %s %s %d %d\n",
+		c.Name, series, c.Cols, c.Rows)); err != nil {
+		return n, err
+	}
+	for _, net := range c.Nets {
+		if err := count(fmt.Fprintf(bw, "net %d", net.ID)); err != nil {
+			return n, err
+		}
+		for _, p := range net.Pins {
+			if err := count(fmt.Fprintf(bw, " %d,%d,%s,%d", p.X, p.Y, p.Side, p.Index)); err != nil {
+				return n, err
+			}
+		}
+		if err := count(fmt.Fprintln(bw)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Parse reads a circuit in the netlist text format. The returned circuit's
+// Spec carries the parsed name, series and array size; statistics fields
+// (pin histogram) are filled from the parsed nets.
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var ckt *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if ckt != nil {
+				return nil, fmt.Errorf("circuits: line %d: duplicate circuit header", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("circuits: line %d: want 'circuit <name> <series> <cols> <rows>'", lineNo)
+			}
+			var series Series
+			switch fields[2] {
+			case "3000":
+				series = Series3000
+			case "4000":
+				series = Series4000
+			default:
+				return nil, fmt.Errorf("circuits: line %d: unknown series %q", lineNo, fields[2])
+			}
+			cols, err1 := strconv.Atoi(fields[3])
+			rows, err2 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || cols < 1 || rows < 1 {
+				return nil, fmt.Errorf("circuits: line %d: bad array size %q x %q", lineNo, fields[3], fields[4])
+			}
+			ckt = &Circuit{Spec: Spec{Name: fields[1], Series: series, Cols: cols, Rows: rows}}
+		case "net":
+			if ckt == nil {
+				return nil, fmt.Errorf("circuits: line %d: net before circuit header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("circuits: line %d: net needs an id and at least 2 pins... got %d fields", lineNo, len(fields))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("circuits: line %d: bad net id %q", lineNo, fields[1])
+			}
+			net := Net{ID: id}
+			for _, tok := range fields[2:] {
+				p, err := parsePin(tok, ckt.Cols, ckt.Rows)
+				if err != nil {
+					return nil, fmt.Errorf("circuits: line %d: %w", lineNo, err)
+				}
+				net.Pins = append(net.Pins, p)
+			}
+			if len(net.Pins) < 2 {
+				return nil, fmt.Errorf("circuits: line %d: net %d has fewer than 2 pins", lineNo, id)
+			}
+			ckt.Nets = append(ckt.Nets, net)
+		default:
+			return nil, fmt.Errorf("circuits: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ckt == nil {
+		return nil, fmt.Errorf("circuits: missing circuit header")
+	}
+	// Rebuild the histogram statistics from the parsed nets.
+	ckt.Nets2_3, ckt.Nets4_10, ckt.NetsOver10 = 0, 0, 0
+	for _, n := range ckt.Nets {
+		switch k := len(n.Pins); {
+		case k <= 3:
+			ckt.Nets2_3++
+		case k <= 10:
+			ckt.Nets4_10++
+		default:
+			ckt.NetsOver10++
+		}
+	}
+	return ckt, nil
+}
+
+// parsePin parses an "x,y,SIDE,index" tuple.
+func parsePin(tok string, cols, rows int) (fpga.Pin, error) {
+	parts := strings.Split(tok, ",")
+	if len(parts) != 4 {
+		return fpga.Pin{}, fmt.Errorf("bad pin %q (want x,y,SIDE,index)", tok)
+	}
+	x, err1 := strconv.Atoi(parts[0])
+	y, err2 := strconv.Atoi(parts[1])
+	idx, err3 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fpga.Pin{}, fmt.Errorf("bad pin %q", tok)
+	}
+	var side fpga.Side
+	switch parts[2] {
+	case "N":
+		side = fpga.North
+	case "E":
+		side = fpga.East
+	case "S":
+		side = fpga.South
+	case "W":
+		side = fpga.West
+	default:
+		return fpga.Pin{}, fmt.Errorf("bad pin side %q in %q", parts[2], tok)
+	}
+	if x < 0 || x >= cols || y < 0 || y >= rows || idx < 0 {
+		return fpga.Pin{}, fmt.Errorf("pin %q outside the %dx%d array", tok, cols, rows)
+	}
+	return fpga.Pin{X: x, Y: y, Side: side, Index: idx}, nil
+}

@@ -1,0 +1,90 @@
+package circuits
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetlistRoundTrip(t *testing.T) {
+	orig, err := Synthesize(Table3Circuits[2], 5) // term1
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != orig.Name || parsed.Cols != orig.Cols || parsed.Rows != orig.Rows || parsed.Series != orig.Series {
+		t.Fatalf("header mismatch: %+v vs %+v", parsed.Spec, orig.Spec)
+	}
+	if len(parsed.Nets) != len(orig.Nets) {
+		t.Fatalf("nets = %d, want %d", len(parsed.Nets), len(orig.Nets))
+	}
+	for i := range orig.Nets {
+		if parsed.Nets[i].ID != orig.Nets[i].ID {
+			t.Fatalf("net %d id mismatch", i)
+		}
+		for j := range orig.Nets[i].Pins {
+			if parsed.Nets[i].Pins[j] != orig.Nets[i].Pins[j] {
+				t.Fatalf("net %d pin %d: %v != %v", i, j, parsed.Nets[i].Pins[j], orig.Nets[i].Pins[j])
+			}
+		}
+	}
+	n23, n410, nOver := parsed.PinHistogram()
+	if n23 != parsed.Nets2_3 || n410 != parsed.Nets4_10 || nOver != parsed.NetsOver10 {
+		t.Fatal("histogram not rebuilt from parsed nets")
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	in := `# comment
+circuit demo 4000 4 4
+
+net 0 0,0,N,0 1,1,S,0
+net 1 2,2,E,1 3,3,W,2 0,3,N,1
+`
+	ckt, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Name != "demo" || ckt.Series != Series4000 || len(ckt.Nets) != 2 {
+		t.Fatalf("parsed: %+v", ckt.Spec)
+	}
+	if len(ckt.Nets[1].Pins) != 3 {
+		t.Fatalf("net 1 pins = %d", len(ckt.Nets[1].Pins))
+	}
+	if ckt.Nets2_3 != 2 {
+		t.Fatalf("histogram: %d", ckt.Nets2_3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no-header", "net 0 0,0,N,0 1,1,S,0\n"},
+		{"dup-header", "circuit a 4000 2 2\ncircuit b 4000 2 2\n"},
+		{"bad-series", "circuit a 5000 2 2\n"},
+		{"bad-size", "circuit a 4000 0 2\n"},
+		{"short-net", "circuit a 4000 2 2\nnet 0 0,0,N,0\n"},
+		{"bad-pin", "circuit a 4000 2 2\nnet 0 0,0,N 1,1,S,0\n"},
+		{"bad-side", "circuit a 4000 2 2\nnet 0 0,0,Q,0 1,1,S,0\n"},
+		{"pin-out-of-array", "circuit a 4000 2 2\nnet 0 5,0,N,0 1,1,S,0\n"},
+		{"bad-id", "circuit a 4000 2 2\nnet x 0,0,N,0 1,1,S,0\n"},
+		{"unknown-directive", "circuit a 4000 2 2\nblob\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("input %q accepted", c.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Package congest generates the Table 1 workload of Section 5: random nets
+// on 20×20 grid graphs whose edge weights model congestion induced by
+// previously-routed nets. Starting from unit weights, k uniformly
+// distributed nets of 2–5 pins are routed with KMB and the weight of every
+// edge used is incremented, raising the average edge weight w̄ — the paper
+// reports w̄ = 1.00 (k = 0), 1.28 (k = 10), and 1.55 (k = 20).
+package congest
+
+import (
+	"math/rand"
+
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// Level describes one congestion level of Table 1.
+type Level struct {
+	Name      string
+	PreRouted int     // k: nets pre-routed with KMB
+	PaperMean float64 // w̄ reported in the paper
+}
+
+// Levels are the paper's three congestion levels.
+var Levels = []Level{
+	{Name: "none", PreRouted: 0, PaperMean: 1.00},
+	{Name: "low", PreRouted: 10, PaperMean: 1.28},
+	{Name: "medium", PreRouted: 20, PaperMean: 1.55},
+}
+
+// GridSize is the grid used throughout Table 1 (20×20 nodes).
+const GridSize = 20
+
+// NewCongestedGrid returns a GridSize×GridSize grid with k pre-routed nets'
+// congestion applied: each pre-routed net has 2–5 uniformly-placed pins, is
+// routed with KMB, and increments the weight of every edge it uses by 1.
+func NewCongestedGrid(rng *rand.Rand, k int) (*graph.GridGraph, error) {
+	g := graph.NewGrid(GridSize, GridSize, 1)
+	for i := 0; i < k; i++ {
+		pins := 2 + rng.Intn(4)
+		net := graph.RandomNet(rng, g.Graph, pins)
+		cache := graph.NewSPTCache(g.Graph)
+		tree, err := steiner.KMB(cache, net)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range tree.Edges {
+			g.AddWeight(id, 1)
+		}
+	}
+	return g, nil
+}
+
+// OptimalMaxPathlength returns the best achievable maximum source-sink
+// pathlength for a net: the largest shortest-path distance from the source
+// to any sink (every arborescence attains it; no tree can do better).
+func OptimalMaxPathlength(g *graph.Graph, net []graph.NodeID) float64 {
+	spt := g.Dijkstra(net[0])
+	maxd := 0.0
+	for _, s := range net[1:] {
+		if d := spt.Dist[s]; d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}

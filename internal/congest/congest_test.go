@@ -1,0 +1,89 @@
+package congest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpgarouter/internal/graph"
+)
+
+func TestLevelsMatchPaper(t *testing.T) {
+	if len(Levels) != 3 {
+		t.Fatalf("levels = %d", len(Levels))
+	}
+	if Levels[0].PreRouted != 0 || Levels[1].PreRouted != 10 || Levels[2].PreRouted != 20 {
+		t.Fatalf("pre-routed counts: %+v", Levels)
+	}
+	if Levels[1].PaperMean != 1.28 || Levels[2].PaperMean != 1.55 {
+		t.Fatalf("paper means: %+v", Levels)
+	}
+}
+
+func TestUncongestedGridIsUnitWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := NewCongestedGrid(rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != GridSize || g.H != GridSize {
+		t.Fatalf("grid %dx%d", g.W, g.H)
+	}
+	if mw := g.MeanWeight(); mw != 1.0 {
+		t.Fatalf("mean weight %v, want 1.0", mw)
+	}
+}
+
+func TestCongestionRaisesMeanWeightTowardPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var means [3]float64
+	const trials = 10
+	for i, level := range Levels {
+		for n := 0; n < trials; n++ {
+			g, err := NewCongestedGrid(rng, level.PreRouted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			means[i] += g.MeanWeight()
+		}
+		means[i] /= trials
+	}
+	if !(means[0] < means[1] && means[1] < means[2]) {
+		t.Fatalf("means not increasing: %v", means)
+	}
+	// Within ~15% of the paper's reported w̄ values.
+	for i, level := range Levels {
+		if level.PaperMean == 0 {
+			continue
+		}
+		if rel := math.Abs(means[i]-level.PaperMean) / level.PaperMean; rel > 0.15 {
+			t.Fatalf("level %s mean %v too far from paper %v", level.Name, means[i], level.PaperMean)
+		}
+	}
+}
+
+func TestCongestionOnlyIncrements(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := NewCongestedGrid(rng, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		w := g.Weight(graph.EdgeID(id))
+		if w < 1 || w != math.Trunc(w) {
+			t.Fatalf("edge %d weight %v: must be integer ≥ 1", id, w)
+		}
+	}
+}
+
+func TestOptimalMaxPathlength(t *testing.T) {
+	g := graph.NewGrid(5, 5, 1)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(4, 0), g.Node(2, 3)}
+	if got := OptimalMaxPathlength(g.Graph, net); got != 5 {
+		t.Fatalf("optimal max pathlength = %v, want 5", got)
+	}
+	// Single-pin net: zero.
+	if got := OptimalMaxPathlength(g.Graph, net[:1]); got != 0 {
+		t.Fatalf("single pin = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// Route a 4-pin net on a grid with KMB and its iterated form: the template
+// admits Steiner points that plain KMB misses.
+func ExampleIKMB() {
+	g := graph.NewGrid(5, 5, 1)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(4, 0), g.Node(0, 4), g.Node(3, 3)}
+	cache := graph.NewSPTCache(g.Graph)
+
+	kmb, _ := steiner.KMB(cache, net)
+	ikmb, _ := core.IKMB(cache, net)
+	fmt.Printf("KMB %.0f, IKMB %.0f\n", kmb.Cost, ikmb.Cost)
+	// Output: KMB 12, IKMB 11
+}
+
+// IDOM builds a shortest-paths tree (every source-sink path optimal) while
+// folding paths to save wirelength.
+func ExampleIDOM() {
+	g := graph.NewGrid(5, 5, 1)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(4, 2), g.Node(2, 4), g.Node(4, 4)}
+	cache := graph.NewSPTCache(g.Graph)
+
+	tree, _ := core.IDOM(cache, net)
+	// Verify the arborescence property: max pathlength equals the longest
+	// shortest-path distance.
+	if err := arbor.VerifyArborescence(cache, tree, net); err != nil {
+		fmt.Println("not an arborescence:", err)
+		return
+	}
+	maxPath := graph.MaxPathlength(g.Graph, tree, net[0], net[1:])
+	fmt.Printf("wirelength %.0f, max path %.0f (optimal)\n", tree.Cost, maxPath)
+	// Output: wirelength 10, max path 8 (optimal)
+}
+
+// The template accepts any base heuristic H; its output never costs more
+// than H's.
+func ExampleIGMST() {
+	g := graph.NewGrid(4, 4, 1)
+	net := []graph.NodeID{g.Node(0, 0), g.Node(3, 0), g.Node(0, 3)}
+	cache := graph.NewSPTCache(g.Graph)
+
+	tree, _ := core.IGMST(cache, net, steiner.SPH, core.Options{Batched: true})
+	fmt.Printf("cost %.0f\n", tree.Cost)
+	// Output: cost 6
+}

@@ -1,0 +1,221 @@
+// Package core implements the paper's primary contributions: the Iterated
+// Graph Minimal Steiner Tree (IGMST) template of Section 3, its IKMB and
+// IZEL instantiations, and the Iterated Dominance (IDOM) arborescence
+// heuristic of Section 4.2.
+//
+// The common idea: given a base construction H, greedily grow a set S of
+// Steiner nodes, at each step admitting the candidate t that maximizes the
+// cost savings ΔH(G, N, S∪{t}) = cost(H(G, N∪S)) − cost(H(G, N∪S∪{t})),
+// and stop when no candidate yields positive savings. The final solution is
+// H(G, N∪S); its performance bound is therefore never worse than H's.
+package core
+
+import (
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// gainEps is the minimum cost savings considered an improvement; it guards
+// against floating-point noise admitting useless Steiner points.
+const gainEps = 1e-9
+
+// Options tunes the iterated template. The zero value is the faithful
+// one-candidate-per-round construction scanning all of V − N.
+type Options struct {
+	// Candidates restricts the Steiner-candidate pool. Nil means every node
+	// of the graph (minus net and already-chosen points). The FPGA router
+	// passes a bounding-box pool here, since scanning |V| > 5000 routing
+	// graph nodes per round is needless (Section 3's "factoring out common
+	// computations" discussion).
+	Candidates []graph.NodeID
+	// MaxRounds caps the number of accepted Steiner points (0 = unlimited).
+	MaxRounds int
+	// Batched enables batch addition: each round ranks all improving
+	// candidates and admits them greedily in order of savings, re-admitting
+	// only candidates that still improve the current solution, rather than
+	// rescanning the full pool after every single admission. This is the
+	// "batches based on a non-interference criterion" variant of Section 3
+	// (after Kahng & Robins); typical instances converge in ≤ 3 rounds.
+	Batched bool
+}
+
+// Stats reports work performed by an iterated construction, for the
+// ablation benchmarks.
+type Stats struct {
+	Rounds       int // candidate-scan rounds performed
+	Evaluations  int // calls to the base heuristic H
+	PointsChosen int // Steiner points admitted into S
+}
+
+// IGMST runs the iterated template of Figure 5 over base heuristic H.
+// net[0] is the source (relevant only to H's tie-breaking); the returned
+// tree spans net and costs no more than H(G, net).
+func IGMST(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, opts Options) (graph.Tree, error) {
+	t, _, err := IGMSTStats(cache, net, H, opts)
+	return t, err
+}
+
+// IGMSTStats is IGMST returning work statistics.
+func IGMSTStats(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, opts Options) (graph.Tree, Stats, error) {
+	var st Stats
+	best, err := H(cache, net)
+	if err != nil {
+		return graph.Tree{}, st, err
+	}
+	st.Evaluations++
+	if len(net) <= 2 {
+		// A Steiner point can never improve a single shortest path (by the
+		// triangle inequality), so skip the candidate scan entirely.
+		return best, st, nil
+	}
+	// Force-cache shortest-path trees for every established node. With all
+	// of N ∪ S cached, a candidate evaluation only ever pairs the (single,
+	// uncached) candidate with cached nodes, so the cache's symmetric
+	// lookup never falls back to a Dijkstra rooted at a candidate — one
+	// such fallback per candidate would dominate the whole construction.
+	for _, v := range net {
+		cache.Tree(v)
+	}
+
+	inNS := make(map[graph.NodeID]bool, len(net))
+	for _, v := range net {
+		inNS[v] = true
+	}
+	pool := candidatePool(cache.Graph(), opts.Candidates)
+	spanned := append([]graph.NodeID(nil), net...) // N ∪ S
+
+	for {
+		st.Rounds++
+		if opts.Batched {
+			admitted := false
+			// Rank all improving candidates by savings against the round's
+			// starting solution, then admit greedily.
+			type cand struct {
+				t    graph.NodeID
+				gain float64
+			}
+			var cands []cand
+			for _, t := range pool {
+				if inNS[t] {
+					continue
+				}
+				sol, err := H(cache, append(spanned, t))
+				st.Evaluations++
+				if err != nil {
+					continue
+				}
+				if g := best.Cost - sol.Cost; g > gainEps {
+					cands = append(cands, cand{t, g})
+				}
+			}
+			sortCands(cands, func(a, b cand) bool {
+				if a.gain != b.gain {
+					return a.gain > b.gain
+				}
+				return a.t < b.t
+			})
+			for _, c := range cands {
+				sol, err := H(cache, append(spanned, c.t))
+				st.Evaluations++
+				if err != nil {
+					continue
+				}
+				if best.Cost-sol.Cost > gainEps {
+					spanned = append(spanned, c.t)
+					inNS[c.t] = true
+					cache.Tree(c.t) // keep every established node cached
+					best = sol
+					st.PointsChosen++
+					admitted = true
+					if opts.MaxRounds > 0 && st.PointsChosen >= opts.MaxRounds {
+						return best, st, nil
+					}
+				}
+			}
+			if !admitted {
+				return best, st, nil
+			}
+		} else {
+			bestGain := 0.0
+			bestT := graph.None
+			var bestSol graph.Tree
+			for _, t := range pool {
+				if inNS[t] {
+					continue
+				}
+				sol, err := H(cache, append(spanned, t))
+				st.Evaluations++
+				if err != nil {
+					continue
+				}
+				// Strict improvement over the best gain so far; the pool is
+				// scanned in deterministic order, so ties keep the first hit.
+				if g := best.Cost - sol.Cost; g > bestGain+gainEps {
+					bestGain = g
+					bestT = t
+					bestSol = sol
+				}
+			}
+			if bestT == graph.None {
+				return best, st, nil
+			}
+			spanned = append(spanned, bestT)
+			inNS[bestT] = true
+			cache.Tree(bestT) // keep every established node cached
+			best = bestSol
+			st.PointsChosen++
+			if opts.MaxRounds > 0 && st.PointsChosen >= opts.MaxRounds {
+				return best, st, nil
+			}
+		}
+	}
+}
+
+// IKMB is the IGMST template instantiated with the KMB heuristic
+// (performance bound ≤ 2·(1−1/L)); this is the algorithm the paper's FPGA
+// router uses for non-critical nets in Tables 2 and 3.
+func IKMB(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	return IGMST(cache, net, steiner.KMB, Options{})
+}
+
+// IZEL is the IGMST template instantiated with Zelikovsky's heuristic
+// (performance bound ≤ 11/6), the strongest Steiner construction evaluated
+// in Table 1.
+func IZEL(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	return IGMST(cache, net, steiner.ZEL, Options{})
+}
+
+// ISPH is the IGMST template instantiated with the Takahashi–Matsuyama
+// shortest-paths heuristic (bound ≤ 2·(1−1/L)). The paper's template
+// accepts *any* base heuristic; ISPH demonstrates that genericity with a
+// base construction of a different character than KMB.
+func ISPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	return IGMST(cache, net, steiner.SPH, Options{})
+}
+
+// candidatePool returns the candidate node list: the provided pool, or all
+// nodes of g.
+func candidatePool(g *graph.Graph, pool []graph.NodeID) []graph.NodeID {
+	if pool != nil {
+		return pool
+	}
+	all := make([]graph.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	return all
+}
+
+// sortCands is a tiny insertion-free sort wrapper kept local to avoid
+// importing sort with a closure adapter at every call site.
+func sortCands[T any](s []T, less func(a, b T) bool) {
+	// Simple binary-insertion sort: candidate lists are short (only the
+	// improving candidates of one round).
+	for i := 1; i < len(s); i++ {
+		j := i
+		for j > 0 && less(s[j], s[j-1]) {
+			s[j], s[j-1] = s[j-1], s[j]
+			j--
+		}
+	}
+}

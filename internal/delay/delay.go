@@ -1,0 +1,155 @@
+// Package delay estimates signal propagation delay through routed trees
+// with the distributed-RC (Elmore) model. The paper motivates its
+// arborescence constructions by signal delay — "we may wish to reduce
+// signal propagation delay through critical paths by using the most direct
+// interconnections" — and notes the constructions "can be easily tuned to
+// the specific parasitics of the underlying technology"; this package
+// provides that evaluation layer: given any routing tree over a weighted
+// graph, it computes per-sink Elmore delays from technology parameters.
+package delay
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgarouter/internal/graph"
+)
+
+// Params are lumped technology parasitics. Each routing-graph edge of
+// length L contributes resistance RUnit·L + RSwitch and capacitance
+// CUnit·L + CSwitch (the switch terms model the programmable switch
+// crossed when a route uses the edge); the source drives the tree through
+// RDriver, and each net sink adds CSink of load.
+type Params struct {
+	RUnit   float64 // resistance per unit wirelength
+	CUnit   float64 // capacitance per unit wirelength
+	RSwitch float64 // resistance of one programmable switch
+	CSwitch float64 // capacitance of one programmable switch
+	RDriver float64 // source driver output resistance
+	CSink   float64 // input capacitance of a sink pin
+}
+
+// Xilinx4000Like returns parasitics of plausible mid-90s antifuse/SRAM
+// FPGA magnitude (normalized units): switch resistance dominates wire
+// resistance, which is why minimizing both pathlength (switches crossed)
+// and wirelength matters.
+func Xilinx4000Like() Params {
+	return Params{RUnit: 1, CUnit: 1, RSwitch: 8, CSwitch: 0.5, RDriver: 4, CSink: 2}
+}
+
+// ErrNotSpanned is returned when a requested sink is not in the tree.
+var ErrNotSpanned = errors.New("delay: sink not spanned by tree")
+
+// Elmore computes the Elmore delay from net[0] to every sink of the net
+// through tree t, which must span the net, interpreting each edge's graph
+// weight as its wirelength. It returns per-sink delays (indexed like
+// net[1:]) and the maximum.
+//
+// Routed FPGA trees carry congestion in their live edge weights; for those,
+// use ElmoreFunc with the fabric's base wirelength accessor instead.
+func Elmore(g *graph.Graph, t graph.Tree, net []graph.NodeID, p Params) ([]float64, float64, error) {
+	return ElmoreFunc(g, t, net, p, func(id graph.EdgeID) float64 { return g.Weight(id) })
+}
+
+// ElmoreFunc is Elmore with an explicit edge-length accessor.
+func ElmoreFunc(g *graph.Graph, t graph.Tree, net []graph.NodeID, p Params, lenOf func(graph.EdgeID) float64) ([]float64, float64, error) {
+	if len(net) == 0 {
+		return nil, 0, errors.New("delay: empty net")
+	}
+	src := net[0]
+	// Tree adjacency.
+	adj := make(map[graph.NodeID][]graph.Arc, 2*len(t.Edges))
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, ID: id})
+		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, ID: id})
+	}
+	isSink := make(map[graph.NodeID]bool, len(net)-1)
+	for _, s := range net[1:] {
+		isSink[s] = true
+	}
+
+	// Root the tree at the source (iterative DFS), recording parents in
+	// visit order so subtree capacitances can be accumulated bottom-up.
+	type frame struct {
+		node   graph.NodeID
+		parent graph.NodeID
+		edge   graph.EdgeID
+	}
+	order := make([]frame, 0, len(adj))
+	stack := []frame{{src, graph.None, graph.None}}
+	seen := map[graph.NodeID]bool{src: true}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, f)
+		for _, a := range adj[f.node] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, frame{a.To, f.node, a.ID})
+			}
+		}
+	}
+	for _, s := range net[1:] {
+		if !seen[s] {
+			return nil, 0, fmt.Errorf("%w: sink %d", ErrNotSpanned, s)
+		}
+	}
+
+	// Bottom-up: subtree capacitance below each node (node's own sink load
+	// plus, for non-root nodes, the capacitance of the edge to the parent
+	// is accounted at delay time).
+	subC := make(map[graph.NodeID]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		f := order[i]
+		c := 0.0
+		if isSink[f.node] {
+			c += p.CSink
+		}
+		for _, a := range adj[f.node] {
+			if a.To != f.parent && seen[a.To] {
+				// Child subtree plus the connecting edge's capacitance.
+				c += subC[a.To] + p.CUnit*lenOf(a.ID) + p.CSwitch
+			}
+		}
+		subC[f.node] = c
+	}
+
+	// Top-down: Elmore delay. The driver charges the whole tree; each edge
+	// adds R_edge × (half its own C + everything below it).
+	delays := make(map[graph.NodeID]float64, len(order))
+	totalC := subC[src]
+	delays[src] = p.RDriver * totalC
+	for _, f := range order[1:] {
+		l := lenOf(f.edge)
+		rEdge := p.RUnit*l + p.RSwitch
+		cEdge := p.CUnit*l + p.CSwitch
+		delays[f.node] = delays[f.parent] + rEdge*(cEdge/2+subC[f.node])
+	}
+
+	out := make([]float64, len(net)-1)
+	maxd := 0.0
+	for i, s := range net[1:] {
+		out[i] = delays[s]
+		if out[i] > maxd {
+			maxd = out[i]
+		}
+	}
+	return out, maxd, nil
+}
+
+// CriticalSink returns the index (into net[1:]) and delay of the slowest
+// sink of the routed tree.
+func CriticalSink(g *graph.Graph, t graph.Tree, net []graph.NodeID, p Params) (int, float64, error) {
+	d, _, err := Elmore(g, t, net, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bd := 0, 0.0
+	for i, v := range d {
+		if v > bd {
+			best, bd = i, v
+		}
+	}
+	return best, bd, nil
+}

@@ -1,0 +1,145 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+)
+
+func TestElmoreSingleWireClosedForm(t *testing.T) {
+	// One edge src--sink of length 3: the delay follows directly from the
+	// π-model formula.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3)
+	tr := graph.NewTree(g, []graph.EdgeID{0})
+	p := Params{RUnit: 2, CUnit: 1, RSwitch: 5, CSwitch: 0.5, RDriver: 4, CSink: 2}
+	d, maxd, err := Elmore(g, tr, []graph.NodeID{0, 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEdge := p.CUnit*3 + p.CSwitch // 3.5
+	rEdge := p.RUnit*3 + p.RSwitch // 11
+	want := p.RDriver*(cEdge+p.CSink) + rEdge*(cEdge/2+p.CSink)
+	if math.Abs(d[0]-want) > 1e-9 || math.Abs(maxd-want) > 1e-9 {
+		t.Fatalf("delay = %v, want %v", d[0], want)
+	}
+}
+
+func TestElmoreMonotoneInPathLength(t *testing.T) {
+	// On a chain, farther sinks see strictly larger delay.
+	g := graph.New(5)
+	var edges []graph.EdgeID
+	for i := 0; i < 4; i++ {
+		edges = append(edges, g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1))
+	}
+	tr := graph.NewTree(g, edges)
+	net := []graph.NodeID{0, 1, 2, 3, 4}
+	d, _, err := Elmore(g, tr, net, Xilinx4000Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i] <= d[i-1] {
+			t.Fatalf("delay not increasing along chain: %v", d)
+		}
+	}
+}
+
+func TestElmoreSharedTrunkCouplesSinks(t *testing.T) {
+	// A Y tree: adding load on one branch raises the delay of the other
+	// (through the shared trunk) — the distributed-RC behaviour a pure
+	// pathlength metric misses.
+	build := func(extraLoad bool) float64 {
+		g := graph.New(5)
+		e01 := g.AddEdge(0, 1, 2)
+		e12 := g.AddEdge(1, 2, 2)
+		e13 := g.AddEdge(1, 3, 2)
+		edges := []graph.EdgeID{e01, e12, e13}
+		net := []graph.NodeID{0, 2, 3}
+		if extraLoad {
+			e34 := g.AddEdge(3, 4, 4)
+			edges = append(edges, e34)
+			net = append(net, 4)
+		}
+		tr := graph.NewTree(g, edges)
+		d, _, err := Elmore(g, tr, net, Xilinx4000Like())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d[0] // delay of sink 2, same position in both variants
+	}
+	if light, heavy := build(false), build(true); heavy <= light {
+		t.Fatalf("extra branch load did not increase sibling delay: %v vs %v", light, heavy)
+	}
+}
+
+func TestElmoreUnspannedSink(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	tr := graph.NewTree(g, []graph.EdgeID{0})
+	if _, _, err := Elmore(g, tr, []graph.NodeID{0, 2}, Xilinx4000Like()); err == nil {
+		t.Fatal("unspanned sink accepted")
+	}
+}
+
+func TestCriticalSink(t *testing.T) {
+	g := graph.New(4)
+	e01 := g.AddEdge(0, 1, 1)
+	e12 := g.AddEdge(1, 2, 1)
+	e13 := g.AddEdge(1, 3, 10)
+	tr := graph.NewTree(g, []graph.EdgeID{e01, e12, e13})
+	idx, d, err := CriticalSink(g, tr, []graph.NodeID{0, 2, 3}, Xilinx4000Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || d <= 0 {
+		t.Fatalf("critical sink = %d (%v), want 1 (the distant sink)", idx, d)
+	}
+}
+
+// Aggregate: arborescence routing (IDOM) yields lower maximum Elmore delay
+// than pure wirelength routing (IKMB) on congested grids — the performance
+// claim that motivates the paper.
+func TestArborescencesReduceElmoreDelayAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Xilinx4000Like()
+	var ikmbSum, idomSum float64
+	for trial := 0; trial < 12; trial++ {
+		g, err := congest.NewCongestedGrid(rng, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := graph.RandomNet(rng, g.Graph, 6)
+		cache := graph.NewSPTCache(g.Graph)
+		ikmb, err := core.IKMB(cache, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idom, err := core.IDOM(cache, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arbor.VerifyArborescence(cache, idom, net); err != nil {
+			t.Fatal(err)
+		}
+		_, di, err := Elmore(g.Graph, ikmb, net, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dd, err := Elmore(g.Graph, idom, net, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ikmbSum += di
+		idomSum += dd
+	}
+	if idomSum >= ikmbSum {
+		t.Fatalf("IDOM aggregate max delay %v not below IKMB %v", idomSum, ikmbSum)
+	}
+}

@@ -1,0 +1,132 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (Section 5). Each harness returns structured results
+// (for tests) and can print the same rows the paper reports (for the
+// cmd/tables executable). EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// TreeAlg pairs an algorithm name with its construction, in the order the
+// paper's Table 1 lists them.
+type TreeAlg struct {
+	Name string
+	Fn   func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error)
+	// Arborescence marks algorithms whose max pathlength is optimal by
+	// construction.
+	Arborescence bool
+}
+
+// Table1Algorithms are the eight constructions compared in Table 1.
+func Table1Algorithms() []TreeAlg {
+	return []TreeAlg{
+		{Name: "KMB", Fn: steiner.KMB},
+		{Name: "ZEL", Fn: steiner.ZEL},
+		{Name: "IKMB", Fn: core.IKMB},
+		{Name: "IZEL", Fn: core.IZEL},
+		{Name: "DJKA", Fn: arbor.DJKA, Arborescence: true},
+		{Name: "DOM", Fn: arbor.DOM, Arborescence: true},
+		{Name: "PFA", Fn: arbor.PFA, Arborescence: true},
+		{Name: "IDOM", Fn: core.IDOM, Arborescence: true},
+	}
+}
+
+// Table1Row is one algorithm's averages within a block.
+type Table1Row struct {
+	Alg string
+	// WirePct is the average percent wirelength change vs KMB (negative =
+	// better than KMB).
+	WirePct float64
+	// MaxPathPct is the average percent max-pathlength excess vs optimal
+	// (0 for arborescences).
+	MaxPathPct float64
+}
+
+// Table1Block is one (congestion level, net size) cell group of Table 1.
+type Table1Block struct {
+	Level    congest.Level
+	NetPins  int
+	MeanEdge float64 // measured average routing-graph edge weight w̄
+	Rows     []Table1Row
+}
+
+// Table1 reproduces Table 1: for each congestion level and net size it
+// routes `nets` uniformly-random nets on freshly congested 20×20 grids with
+// all eight algorithms, reporting average wirelength (normalized to KMB)
+// and average maximum pathlength (normalized to optimal). The paper uses
+// nets = 50.
+func Table1(seed int64, nets int) ([]Table1Block, error) {
+	rng := rand.New(rand.NewSource(seed))
+	algs := Table1Algorithms()
+	var blocks []Table1Block
+	for _, level := range congest.Levels {
+		for _, pins := range []int{5, 8} {
+			block := Table1Block{Level: level, NetPins: pins}
+			sumWire := make([]float64, len(algs))
+			sumPath := make([]float64, len(algs))
+			meanW := 0.0
+			for n := 0; n < nets; n++ {
+				g, err := congest.NewCongestedGrid(rng, level.PreRouted)
+				if err != nil {
+					return nil, fmt.Errorf("table1: congesting grid: %w", err)
+				}
+				meanW += g.MeanWeight()
+				net := graph.RandomNet(rng, g.Graph, pins)
+				cache := graph.NewSPTCache(g.Graph)
+				optPath := congest.OptimalMaxPathlength(g.Graph, net)
+				kmbTree, err := steiner.KMB(cache, net)
+				if err != nil {
+					return nil, fmt.Errorf("table1: KMB: %w", err)
+				}
+				for i, alg := range algs {
+					tree, err := alg.Fn(cache, net)
+					if err != nil {
+						return nil, fmt.Errorf("table1: %s: %w", alg.Name, err)
+					}
+					sumWire[i] += (tree.Cost/kmbTree.Cost - 1) * 100
+					mp := graph.MaxPathlength(g.Graph, tree, net[0], net[1:])
+					if optPath > 0 {
+						sumPath[i] += (mp/optPath - 1) * 100
+					}
+				}
+			}
+			block.MeanEdge = meanW / float64(nets)
+			for i, alg := range algs {
+				block.Rows = append(block.Rows, Table1Row{
+					Alg:        alg.Name,
+					WirePct:    sumWire[i] / float64(nets),
+					MaxPathPct: sumPath[i] / float64(nets),
+				})
+			}
+			blocks = append(blocks, block)
+		}
+	}
+	return blocks, nil
+}
+
+// PrintTable1 renders the blocks in the paper's layout: one section per
+// congestion level with 5-pin and 8-pin columns.
+func PrintTable1(w io.Writer, blocks []Table1Block) {
+	fmt.Fprintln(w, "Table 1: average wirelength % (w.r.t. KMB) and max pathlength % (w.r.t. OPT)")
+	for bi := 0; bi < len(blocks); bi += 2 {
+		b5, b8 := blocks[bi], blocks[bi+1]
+		fmt.Fprintf(w, "\n%s congestion (k = %d pre-routed nets), measured w̄ = %.2f (paper w̄ = %.2f)\n",
+			b5.Level.Name, b5.Level.PreRouted, b5.MeanEdge, b5.Level.PaperMean)
+		fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "Algorithm",
+			"5p Wire%", "5p MaxPath%", "8p Wire%", "8p MaxPath%")
+		for i := range b5.Rows {
+			fmt.Fprintf(w, "%-10s %12.2f %12.2f %12.2f %12.2f\n", b5.Rows[i].Alg,
+				b5.Rows[i].WirePct, b5.Rows[i].MaxPathPct,
+				b8.Rows[i].WirePct, b8.Rows[i].MaxPathPct)
+		}
+	}
+}

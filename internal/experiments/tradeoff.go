@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/congest"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// TradeoffRow is one construction's averages in the wirelength/radius
+// trade-off study.
+type TradeoffRow struct {
+	Name      string
+	WirePct   float64 // avg % wirelength vs KMB
+	RadiusPct float64 // avg % max-pathlength excess vs optimal
+}
+
+// Tradeoff runs the Section 2 comparison the paper argues from: the BRBC
+// and Prim–Dijkstra trade-off constructions swept across their parameter
+// ranges, against DJKA, PFA and IDOM, on congested Table 1 grids. The
+// point the paper makes — and this experiment reproduces — is that with
+// their parameters tuned fully toward pathlength the trade-off methods
+// degenerate to plain shortest-paths trees (DJKA-like wirelength), whereas
+// PFA/IDOM reach the same optimal pathlength at substantially lower
+// wirelength.
+func Tradeoff(seed int64, nets, preRouted int) ([]TradeoffRow, error) {
+	type entry struct {
+		name string
+		fn   func(*graph.SPTCache, []graph.NodeID) (graph.Tree, error)
+	}
+	var entries []entry
+	for _, c := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := c
+		entries = append(entries, entry{
+			name: fmt.Sprintf("PD(c=%.2f)", c),
+			fn: func(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+				return arbor.PrimDijkstra(cache, net, c)
+			},
+		})
+	}
+	for _, eps := range []float64{4, 1, 0.5, 0.25, 0} {
+		eps := eps
+		entries = append(entries, entry{
+			name: fmt.Sprintf("BRBC(e=%.2f)", eps),
+			fn: func(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+				return arbor.BRBC(cache, net, eps)
+			},
+		})
+	}
+	entries = append(entries,
+		entry{name: "DJKA", fn: arbor.DJKA},
+		entry{name: "PFA", fn: arbor.PFA},
+		entry{name: "IDOM", fn: core.IDOM},
+	)
+
+	rng := rand.New(rand.NewSource(seed))
+	sumWire := make([]float64, len(entries))
+	sumRad := make([]float64, len(entries))
+	for n := 0; n < nets; n++ {
+		g, err := congest.NewCongestedGrid(rng, preRouted)
+		if err != nil {
+			return nil, err
+		}
+		net := graph.RandomNet(rng, g.Graph, 8)
+		cache := graph.NewSPTCache(g.Graph)
+		kmb, err := steiner.KMB(cache, net)
+		if err != nil {
+			return nil, err
+		}
+		opt := congest.OptimalMaxPathlength(g.Graph, net)
+		for i, e := range entries {
+			tree, err := e.fn(cache, net)
+			if err != nil {
+				return nil, fmt.Errorf("tradeoff: %s: %w", e.name, err)
+			}
+			sumWire[i] += (tree.Cost/kmb.Cost - 1) * 100
+			if opt > 0 {
+				mp := graph.MaxPathlength(g.Graph, tree, net[0], net[1:])
+				sumRad[i] += (mp/opt - 1) * 100
+			}
+		}
+	}
+	rows := make([]TradeoffRow, len(entries))
+	for i, e := range entries {
+		rows[i] = TradeoffRow{
+			Name:      e.name,
+			WirePct:   sumWire[i] / float64(nets),
+			RadiusPct: sumRad[i] / float64(nets),
+		}
+	}
+	return rows, nil
+}
+
+// PrintTradeoff renders the trade-off study.
+func PrintTradeoff(w io.Writer, rows []TradeoffRow, preRouted int) {
+	fmt.Fprintf(w, "Wirelength/radius trade-off (8-pin nets, k=%d congestion):\n", preRouted)
+	fmt.Fprintf(w, "%-14s %12s %14s\n", "construction", "wire% (KMB)", "radius% (OPT)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.2f %14.2f\n", r.Name, r.WirePct, r.RadiusPct)
+	}
+	fmt.Fprintln(w, "note: at c=1 / e=0 the trade-off methods hit optimal radius at DJKA-like")
+	fmt.Fprintln(w, "wirelength; PFA and IDOM hit optimal radius at far lower wirelength.")
+}

@@ -1,0 +1,506 @@
+package fpga
+
+import (
+	"fmt"
+
+	"fpgarouter/internal/graph"
+)
+
+// Default edge lengths, in channel-span units. A full wire segment between
+// two switch blocks has length 1; a connection-block tap reaches the middle
+// of a segment (0.5); an intra-switch-block jog (Fs = 6 extra flexibility)
+// is nearly free but slightly discouraged.
+const (
+	SegmentLength = 1.0
+	TapLength     = 0.5
+	JogLength     = 0.05
+)
+
+// WireID identifies one physical channel wire: a (channel span, track)
+// pair. Wires are the unit of electrical capacity — a wire claimed by one
+// net is unusable by every other net.
+type WireID = int32
+
+// noWire marks edges (intra-switch-block jogs) that are not part of any
+// channel wire.
+const noWire WireID = -1
+
+// Fabric is an instantiated FPGA routing fabric: the routing graph plus the
+// wire/span bookkeeping needed for capacity, congestion and rip-up.
+type Fabric struct {
+	Arch
+	g *graph.Graph
+
+	numSB    int // (Cols+1)*(Rows+1)*W switch-block/track nodes
+	hSpans   int // Cols*(Rows+1) horizontal channel spans
+	numSpans int // hSpans + (Cols+1)*Rows
+
+	edgeWire  []WireID                        // edge → owning wire (or noWire)
+	wireEdges [][]graph.EdgeID                // wire → its segment and tap edges
+	wireSpans [][]int32                       // wire → channel spans it covers (≥1 when segmented)
+	spanWire  []WireID                        // (span*W + track) → covering wire
+	claimed   []bool                          // wire → claimed by a committed net
+	spanUsed  []int32                         // span → number of claimed wires
+	baseW     []float64                       // edge → uncongested wirelength
+	pinTaps   map[graph.NodeID][]graph.EdgeID // pin node → its tap edges
+	pinWires  map[graph.NodeID][]WireID       // pin node → wires it taps
+
+	wireDemand []int32 // wire → unrouted pins that can only tap this wire
+	spanDemand []int32 // span → unrouted pin taps wanting this span
+
+	// CongestionAlpha scales the congestion penalty applied to the
+	// remaining wires of a partially used channel span: the weight of a
+	// segment edge becomes base·(1 + α·used/W + …). Zero disables it.
+	CongestionAlpha float64
+	// DemandBeta scales the scarcity penalty on spans whose free wires are
+	// nearly all reserved by pins of still-unrouted nets. This implements
+	// the demand-driven congestion avoidance that keeps traversal routes
+	// from walling off future pins (CGE routes "based on demand" the same
+	// way).
+	DemandBeta float64
+	// DemandGamma penalizes individual wires tapped by unrouted pins, so a
+	// passing route prefers demand-free wires of the same span.
+	DemandGamma float64
+}
+
+// NewFabric builds the routing graph for the architecture.
+func NewFabric(a Arch) (*Fabric, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{Arch: a, CongestionAlpha: 1.0, DemandBeta: 1.0, DemandGamma: 0.5}
+	f.numSB = (a.Cols + 1) * (a.Rows + 1) * a.W
+	f.hSpans = a.Cols * (a.Rows + 1)
+	f.numSpans = f.hSpans + (a.Cols+1)*a.Rows
+	numPins := a.Cols * a.Rows * 4 * a.PinsPerSide
+	f.g = graph.New(f.numSB + numPins)
+	f.spanWire = make([]WireID, f.numSpans*a.W)
+	f.spanUsed = make([]int32, f.numSpans)
+	f.spanDemand = make([]int32, f.numSpans)
+
+	addWireEdge := func(w WireID, u, v graph.NodeID, length float64) {
+		id := f.g.AddEdge(u, v, length)
+		f.edgeWire = append(f.edgeWire, w)
+		f.baseW = append(f.baseW, length)
+		if w != noWire {
+			f.wireEdges[w] = append(f.wireEdges[w], id)
+		}
+	}
+	// newWire allocates a wire covering the given spans on track t and
+	// adds its single wire edge between the bounding switch blocks.
+	newWire := func(spans []int32, t int, u, v graph.NodeID) {
+		w := WireID(len(f.wireEdges))
+		f.wireEdges = append(f.wireEdges, nil)
+		f.wireSpans = append(f.wireSpans, spans)
+		for _, s := range spans {
+			f.spanWire[int(s)*a.W+t] = w
+		}
+		addWireEdge(w, u, v, SegmentLength*float64(len(spans)))
+	}
+
+	// Channel wires. Track t carries wires of length SegLen(t) channel
+	// spans (1 = the classic single-length model): a length-L wire is one
+	// edge between switch blocks L apart, and connection blocks tap it
+	// only through its endpoints (like Xilinx double/long lines, which
+	// skip intermediate switch blocks).
+	for j := 0; j <= a.Rows; j++ { // horizontal channels
+		for t := 0; t < a.W; t++ {
+			l := a.SegLen(t)
+			for i0 := 0; i0 < a.Cols; i0 += l {
+				end := i0 + l
+				if end > a.Cols {
+					end = a.Cols
+				}
+				spans := make([]int32, 0, end-i0)
+				for i := i0; i < end; i++ {
+					spans = append(spans, int32(f.hSpan(i, j)))
+				}
+				newWire(spans, t, f.sbNode(i0, j, t), f.sbNode(end, j, t))
+			}
+		}
+	}
+	for i := 0; i <= a.Cols; i++ { // vertical channels
+		for t := 0; t < a.W; t++ {
+			l := a.SegLen(t)
+			for j0 := 0; j0 < a.Rows; j0 += l {
+				end := j0 + l
+				if end > a.Rows {
+					end = a.Rows
+				}
+				spans := make([]int32, 0, end-j0)
+				for j := j0; j < end; j++ {
+					spans = append(spans, int32(f.vSpan(i, j)))
+				}
+				newWire(spans, t, f.sbNode(i, j0, t), f.sbNode(i, end, t))
+			}
+		}
+	}
+	f.claimed = make([]bool, len(f.wireEdges))
+	f.wireDemand = make([]int32, len(f.wireEdges))
+
+	// Extra switch-block flexibility (Fs = 6): jogs between neighbouring
+	// tracks inside each switch block. The disjoint Fs = 3 pattern is
+	// already encoded by sharing one node per (switch block, track).
+	if a.Fs == 6 && a.W > 1 {
+		for j := 0; j <= a.Rows; j++ {
+			for i := 0; i <= a.Cols; i++ {
+				for t := 0; t < a.W; t++ {
+					u := (t + 1) % a.W
+					if u == t || (a.W == 2 && t == 1) {
+						continue // avoid self-loops and duplicate pair on W=2
+					}
+					addWireEdge(noWire, f.sbNode(i, j, t), f.sbNode(i, j, u), JogLength)
+				}
+			}
+		}
+	}
+
+	// Connection blocks: each pin taps Fc of the W tracks of its adjacent
+	// channel span, reaching both switch blocks bounding the span.
+	f.pinTaps = make(map[graph.NodeID][]graph.EdgeID, numPins)
+	f.pinWires = make(map[graph.NodeID][]WireID, numPins)
+	pinOrdinal := 0
+	for y := 0; y < a.Rows; y++ {
+		for x := 0; x < a.Cols; x++ {
+			for _, side := range []Side{North, East, South, West} {
+				for k := 0; k < a.PinsPerSide; k++ {
+					pin := Pin{X: x, Y: y, Side: side, Index: k}
+					pn := f.PinNode(pin)
+					span, _, _ := f.pinSpan(pin)
+					for c := 0; c < a.Fc; c++ {
+						t := (pinOrdinal + c*a.W/a.Fc) % a.W
+						w := f.spanWire[span*a.W+t]
+						// The tap reaches the wire at this span's middle;
+						// leaving through either wire end costs the
+						// intra-wire distance plus the half-span tap.
+						pos := 0
+						for idx, s := range f.wireSpans[w] {
+							if int(s) == span {
+								pos = idx
+								break
+							}
+						}
+						wireEdge := f.g.Edge(f.wireEdges[w][0])
+						lenA := SegmentLength*float64(pos) + TapLength
+						lenB := SegmentLength*float64(len(f.wireSpans[w])-1-pos) + TapLength
+						first := graph.EdgeID(f.g.NumEdges())
+						addWireEdge(w, pn, wireEdge.U, lenA)
+						addWireEdge(w, pn, wireEdge.V, lenB)
+						f.pinTaps[pn] = append(f.pinTaps[pn], first, first+1)
+						f.pinWires[pn] = append(f.pinWires[pn], w)
+					}
+					pinOrdinal++
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// sbNode returns the node for track t at switch block (i, j).
+func (f *Fabric) sbNode(i, j, t int) graph.NodeID {
+	return graph.NodeID((j*(f.Cols+1)+i)*f.W + t)
+}
+
+// sbTrack shifts a switch-block base index (node of track 0) to track t.
+func (f *Fabric) sbTrack(base graph.NodeID, t int) graph.NodeID {
+	return base + graph.NodeID(t)
+}
+
+// hSpan returns the span index of the horizontal channel span between
+// switch blocks (i, j) and (i+1, j).
+func (f *Fabric) hSpan(i, j int) int { return j*f.Cols + i }
+
+// vSpan returns the span index of the vertical channel span between switch
+// blocks (i, j) and (i, j+1).
+func (f *Fabric) vSpan(i, j int) int { return f.hSpans + j*(f.Cols+1) + i }
+
+// wireOf returns the wire covering track t of a span.
+func (f *Fabric) wireOf(span, t int) WireID { return f.spanWire[span*f.W+t] }
+
+// pinSpan returns the channel span adjacent to a pin and the track-0 nodes
+// of the two switch blocks bounding it.
+func (f *Fabric) pinSpan(p Pin) (span int, sbA, sbB graph.NodeID) {
+	switch p.Side {
+	case South:
+		return f.hSpan(p.X, p.Y), f.sbNode(p.X, p.Y, 0), f.sbNode(p.X+1, p.Y, 0)
+	case North:
+		return f.hSpan(p.X, p.Y+1), f.sbNode(p.X, p.Y+1, 0), f.sbNode(p.X+1, p.Y+1, 0)
+	case West:
+		return f.vSpan(p.X, p.Y), f.sbNode(p.X, p.Y, 0), f.sbNode(p.X, p.Y+1, 0)
+	case East:
+		return f.vSpan(p.X+1, p.Y), f.sbNode(p.X+1, p.Y, 0), f.sbNode(p.X+1, p.Y+1, 0)
+	}
+	panic(fmt.Sprintf("fpga: bad side %v", p.Side))
+}
+
+// PinNode returns the routing-graph node of a logic block pin.
+func (f *Fabric) PinNode(p Pin) graph.NodeID {
+	if p.X < 0 || p.X >= f.Cols || p.Y < 0 || p.Y >= f.Rows ||
+		p.Side < North || p.Side > West || p.Index < 0 || p.Index >= f.PinsPerSide {
+		panic(fmt.Sprintf("fpga: pin %v out of range", p))
+	}
+	idx := ((p.Y*f.Cols+p.X)*4+int(p.Side))*f.PinsPerSide + p.Index
+	return graph.NodeID(f.numSB + idx)
+}
+
+// Graph exposes the routing graph (shared, mutable — the router commits
+// nets through CommitNet, not by touching the graph directly).
+func (f *Fabric) Graph() *graph.Graph { return f.g }
+
+// NumWires returns the number of physical channel wires.
+func (f *Fabric) NumWires() int { return len(f.wireEdges) }
+
+// WireOfEdge returns the wire owning edge id, or -1 for switch-block jogs.
+func (f *Fabric) WireOfEdge(id graph.EdgeID) WireID { return f.edgeWire[id] }
+
+// SBCandidates returns the switch-block/track nodes within the inclusive
+// switch-block bounding box [minX, maxX]×[minY, maxY] (clipped to the
+// fabric), the Steiner-candidate pool used by the router's iterated
+// constructions.
+func (f *Fabric) SBCandidates(minX, maxX, minY, maxY int) []graph.NodeID {
+	clip := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	minX, maxX = clip(minX, 0, f.Cols), clip(maxX, 0, f.Cols)
+	minY, maxY = clip(minY, 0, f.Rows), clip(maxY, 0, f.Rows)
+	var out []graph.NodeID
+	for j := minY; j <= maxY; j++ {
+		for i := minX; i <= maxX; i++ {
+			for t := 0; t < f.W; t++ {
+				out = append(out, f.sbNode(i, j, t))
+			}
+		}
+	}
+	return out
+}
+
+// SBCoords inverts sbNode for switch-block/track nodes; ok is false for pin
+// nodes.
+func (f *Fabric) SBCoords(v graph.NodeID) (i, j, t int, ok bool) {
+	if int(v) >= f.numSB {
+		return 0, 0, 0, false
+	}
+	t = int(v) % f.W
+	sb := int(v) / f.W
+	return sb % (f.Cols + 1), sb / (f.Cols + 1), t, true
+}
+
+// PinOf inverts PinNode; ok is false for switch-block nodes.
+func (f *Fabric) PinOf(v graph.NodeID) (Pin, bool) {
+	idx := int(v) - f.numSB
+	if idx < 0 || idx >= f.Cols*f.Rows*4*f.PinsPerSide {
+		return Pin{}, false
+	}
+	k := idx % f.PinsPerSide
+	idx /= f.PinsPerSide
+	side := Side(idx % 4)
+	idx /= 4
+	return Pin{X: idx % f.Cols, Y: idx / f.Cols, Side: side, Index: k}, true
+}
+
+// BeginNet prepares the fabric for routing one net: the tap edges of every
+// logic-block pin NOT in pins are disabled, so routes cannot pass through
+// unrelated pins (a pin is not a routing switch — only the net's own
+// terminals may fan out through their connection blocks). Tap edges of the
+// net's pins are enabled unless their wire is already claimed.
+func (f *Fabric) BeginNet(pins []Pin) {
+	active := make(map[graph.NodeID]bool, len(pins))
+	for _, p := range pins {
+		active[f.PinNode(p)] = true
+	}
+	for node, taps := range f.pinTaps {
+		on := active[node]
+		for _, e := range taps {
+			f.g.SetEnabled(e, on && !f.claimed[f.edgeWire[e]])
+		}
+	}
+}
+
+// CommitNet commits a routed tree: every wire touched by the tree is
+// claimed (all of its edges disabled, so later nets stay electrically
+// disjoint), every non-wire edge used is disabled, and congestion weights
+// of the affected spans are refreshed. It returns the claimed wires.
+func (f *Fabric) CommitNet(t graph.Tree) []WireID {
+	var wires []WireID
+	touchedSpans := map[int32]bool{}
+	for _, id := range t.Edges {
+		w := f.edgeWire[id]
+		if w == noWire {
+			f.g.SetEnabled(id, false)
+			continue
+		}
+		if !f.claimed[w] {
+			f.claimed[w] = true
+			wires = append(wires, w)
+			for _, s := range f.wireSpans[w] {
+				f.spanUsed[s]++
+				touchedSpans[s] = true
+			}
+			for _, e := range f.wireEdges[w] {
+				f.g.SetEnabled(e, false)
+			}
+		}
+	}
+	for span := range touchedSpans {
+		f.refreshSpanWeights(int(span))
+	}
+	return wires
+}
+
+// AddPinDemand registers (delta = +1) or releases (delta = -1) a pin of an
+// unrouted net: its tap wires and span are marked as demanded, and the
+// span's weights refreshed. The router registers every pin at pass start
+// and releases a net's pins just before routing it.
+func (f *Fabric) AddPinDemand(p Pin, delta int32) {
+	pn := f.PinNode(p)
+	span, _, _ := f.pinSpan(p)
+	for _, w := range f.pinWires[pn] {
+		f.wireDemand[w] += delta
+	}
+	f.spanDemand[span] += delta
+	f.refreshSpanWeights(span)
+}
+
+// spanFactor computes the congestion+scarcity term of one span:
+// α·used/W plus the β-scaled scarcity that grows as the span's free wires
+// are used up relative to the demand registered by unrouted pins.
+func (f *Fabric) spanFactor(span int32) float64 {
+	used := f.spanUsed[span]
+	factor := f.CongestionAlpha * float64(used) / float64(f.W)
+	if need := f.spanDemand[span]; need > 0 && f.DemandBeta > 0 {
+		slack := int32(f.W) - used
+		var scarcity float64
+		if slack <= need {
+			scarcity = 2 * float64(need-slack+1)
+		} else {
+			scarcity = 0.25 * float64(need) / float64(slack-need)
+		}
+		factor += f.DemandBeta * scarcity
+	}
+	return factor
+}
+
+// refreshSpanWeights reapplies the congestion formula to the still-enabled
+// edges of the wires covering a span:
+//
+//	weight = base · (1 + max over covered spans of spanFactor + γ·wireDemand)
+//
+// Multi-span (segmented) wires take the worst factor over the spans they
+// cross, so a long line through a congested region is avoided whole.
+func (f *Fabric) refreshSpanWeights(span int) {
+	for t := 0; t < f.W; t++ {
+		w := f.wireOf(span, t)
+		if f.claimed[w] {
+			continue
+		}
+		worst := 0.0
+		for _, s := range f.wireSpans[w] {
+			if sf := f.spanFactor(s); sf > worst {
+				worst = sf
+			}
+		}
+		wf := 1 + worst + f.DemandGamma*float64(f.wireDemand[w])
+		for _, e := range f.wireEdges[w] {
+			f.g.SetWeight(e, f.baseW[e]*wf)
+		}
+	}
+}
+
+// Reset rips up all committed nets: re-enables every edge, restores base
+// weights and clears all claims and registered pin demand.
+func (f *Fabric) Reset() {
+	for i := range f.claimed {
+		f.claimed[i] = false
+	}
+	for i := range f.spanUsed {
+		f.spanUsed[i] = 0
+	}
+	for i := range f.wireDemand {
+		f.wireDemand[i] = 0
+	}
+	for i := range f.spanDemand {
+		f.spanDemand[i] = 0
+	}
+	for id := 0; id < f.g.NumEdges(); id++ {
+		f.g.SetEnabled(graph.EdgeID(id), true)
+		f.g.SetWeight(graph.EdgeID(id), f.baseW[id])
+	}
+}
+
+// BaseWirelength returns the uncongested wirelength of a routed tree (the
+// metric reported in Table 5), i.e. the sum of base edge lengths.
+func (f *Fabric) BaseWirelength(t graph.Tree) float64 {
+	total := 0.0
+	for _, id := range t.Edges {
+		total += f.baseW[id]
+	}
+	return total
+}
+
+// MaxPathlength returns the maximum, over sinks, of the tree-path length
+// from src measured in base (uncongested) wirelength — the critical-path
+// metric of Table 5. It panics if a sink is not spanned by the tree.
+func (f *Fabric) MaxPathlength(t graph.Tree, src graph.NodeID, sinks []graph.NodeID) float64 {
+	adj := make(map[graph.NodeID][]graph.Arc, 2*len(t.Edges))
+	for _, id := range t.Edges {
+		e := f.g.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, ID: id})
+		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, ID: id})
+	}
+	dist := map[graph.NodeID]float64{src: 0}
+	stack := []graph.NodeID{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range adj[u] {
+			if _, ok := dist[a.To]; ok {
+				continue
+			}
+			dist[a.To] = dist[u] + f.baseW[a.ID]
+			stack = append(stack, a.To)
+		}
+	}
+	maxd := 0.0
+	for _, s := range sinks {
+		d, ok := dist[s]
+		if !ok {
+			panic(fmt.Sprintf("fpga: sink %d not spanned by tree", s))
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// HSpanIndex returns the span index of the horizontal channel span between
+// switch blocks (i, j) and (i+1, j), for renderers and diagnostics.
+func (f *Fabric) HSpanIndex(i, j int) int { return f.hSpan(i, j) }
+
+// VSpanIndex returns the span index of the vertical channel span between
+// switch blocks (i, j) and (i, j+1).
+func (f *Fabric) VSpanIndex(i, j int) int { return f.vSpan(i, j) }
+
+// SpanUtilization returns how many wires of each span are claimed.
+func (f *Fabric) SpanUtilization() []int32 {
+	return append([]int32(nil), f.spanUsed...)
+}
+
+// MaxSpanUtilization returns the maximum number of claimed wires over all
+// spans — the effective channel width the committed routing requires.
+func (f *Fabric) MaxSpanUtilization() int {
+	m := int32(0)
+	for _, u := range f.spanUsed {
+		if u > m {
+			m = u
+		}
+	}
+	return int(m)
+}

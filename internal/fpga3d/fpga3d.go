@@ -1,0 +1,297 @@
+// Package fpga3d generalizes the routing model to three-dimensional FPGAs,
+// the extension the paper's conclusion points to ("all of our methods
+// generalize to three-dimensional FPGAs", citing Alexander et al.'s 3D-FPGA
+// work). A 3D fabric stacks L symmetrical-array layers and joins vertically
+// adjacent switch blocks with via edges on a configurable subset of tracks.
+//
+// Because every routing algorithm in this repository operates on plain
+// weighted graphs, nothing in the algorithm layer changes: the 3D fabric is
+// just another graph. The package also provides a folding placement (a 2D
+// netlist's rows are wrapped across layers) and a sequential net router so
+// 2D and 3D wirelength can be compared on identical netlists — the
+// experiment behind the 3D-FPGA papers' headline that stacking shortens
+// interconnect.
+package fpga3d
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/fpga"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// Arch describes a 3D symmetrical-array FPGA.
+type Arch struct {
+	Cols, Rows, Layers int
+	W                  int // channel width per layer
+	Fc                 int // connection-block flexibility
+	// ViaEvery enables vertical via edges at every ViaEvery-th track of
+	// each switch-block column (1 = all tracks, 2 = half, ...).
+	ViaEvery int
+	// ViaLength is the wirelength cost of one inter-layer via.
+	ViaLength float64
+	// PinsPerSide matches the 2D model.
+	PinsPerSide int
+}
+
+// DefaultArch returns a 3D architecture comparable to the Xilinx-4000-style
+// 2D model: disjoint switch blocks, Fc = W, vias on every other track with
+// length 1 (an inter-layer hop costs about one channel span).
+func DefaultArch(cols, rows, layers, w int) Arch {
+	return Arch{
+		Cols: cols, Rows: rows, Layers: layers, W: w,
+		Fc: w, ViaEvery: 2, ViaLength: 1, PinsPerSide: 3,
+	}
+}
+
+// Validate checks the architecture parameters.
+func (a Arch) Validate() error {
+	switch {
+	case a.Cols < 1 || a.Rows < 1 || a.Layers < 1:
+		return fmt.Errorf("fpga3d: array %dx%dx%d invalid", a.Cols, a.Rows, a.Layers)
+	case a.W < 1:
+		return fmt.Errorf("fpga3d: width %d invalid", a.W)
+	case a.Fc < 1 || a.Fc > a.W:
+		return fmt.Errorf("fpga3d: Fc=%d out of range", a.Fc)
+	case a.ViaEvery < 1:
+		return fmt.Errorf("fpga3d: ViaEvery=%d invalid", a.ViaEvery)
+	case a.ViaLength < 0:
+		return fmt.Errorf("fpga3d: ViaLength=%v invalid", a.ViaLength)
+	case a.PinsPerSide < 1:
+		return fmt.Errorf("fpga3d: PinsPerSide=%d invalid", a.PinsPerSide)
+	}
+	return nil
+}
+
+// Pin3D is a logic block pin in the stacked array.
+type Pin3D struct {
+	Layer int
+	Pin   fpga.Pin
+}
+
+// Fabric3D is an instantiated 3D routing graph. Capacity is per edge: a
+// committed net disables every edge it used (the simpler of the two
+// capacity models in this repository; the 2D fabric's whole-wire claiming
+// refines it for channel-width experiments, which are inherently 2D).
+type Fabric3D struct {
+	Arch
+	g        *graph.Graph
+	perLayer int // nodes per layer
+	numSB    int // switch-block/track nodes per layer
+	baseW    []float64
+	pinTaps  map[graph.NodeID][]graph.EdgeID
+	consumed map[graph.EdgeID]bool // edges claimed by committed nets
+}
+
+// NewFabric3D builds the stacked routing graph.
+func NewFabric3D(a Arch) (*Fabric3D, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric3D{Arch: a}
+	f.numSB = (a.Cols + 1) * (a.Rows + 1) * a.W
+	numPins := a.Cols * a.Rows * 4 * a.PinsPerSide
+	f.perLayer = f.numSB + numPins
+	f.g = graph.New(f.perLayer * a.Layers)
+	f.pinTaps = make(map[graph.NodeID][]graph.EdgeID, numPins*a.Layers)
+
+	add := func(u, v graph.NodeID, w float64) graph.EdgeID {
+		id := f.g.AddEdge(u, v, w)
+		f.baseW = append(f.baseW, w)
+		return id
+	}
+
+	for l := 0; l < a.Layers; l++ {
+		// Intra-layer channel segments (disjoint switch blocks: one node
+		// per (SB, track), same encoding as the 2D fabric).
+		for j := 0; j <= a.Rows; j++ {
+			for i := 0; i < a.Cols; i++ {
+				for t := 0; t < a.W; t++ {
+					add(f.sbNode(l, i, j, t), f.sbNode(l, i+1, j, t), fpga.SegmentLength)
+				}
+			}
+		}
+		for j := 0; j < a.Rows; j++ {
+			for i := 0; i <= a.Cols; i++ {
+				for t := 0; t < a.W; t++ {
+					add(f.sbNode(l, i, j, t), f.sbNode(l, i, j+1, t), fpga.SegmentLength)
+				}
+			}
+		}
+		// Connection blocks.
+		pinOrdinal := 0
+		for y := 0; y < a.Rows; y++ {
+			for x := 0; x < a.Cols; x++ {
+				for _, side := range []fpga.Side{fpga.North, fpga.East, fpga.South, fpga.West} {
+					for k := 0; k < a.PinsPerSide; k++ {
+						pin := Pin3D{Layer: l, Pin: fpga.Pin{X: x, Y: y, Side: side, Index: k}}
+						pn := f.PinNode(pin)
+						sbA, sbB := f.pinSpanSBs(pin)
+						for c := 0; c < a.Fc; c++ {
+							t := (pinOrdinal + c*a.W/a.Fc) % a.W
+							e1 := add(pn, sbA+graph.NodeID(t), fpga.TapLength)
+							e2 := add(pn, sbB+graph.NodeID(t), fpga.TapLength)
+							f.pinTaps[pn] = append(f.pinTaps[pn], e1, e2)
+						}
+						pinOrdinal++
+					}
+				}
+			}
+		}
+	}
+	// Vias between vertically adjacent switch blocks.
+	for l := 0; l+1 < a.Layers; l++ {
+		for j := 0; j <= a.Rows; j++ {
+			for i := 0; i <= a.Cols; i++ {
+				for t := 0; t < a.W; t += a.ViaEvery {
+					add(f.sbNode(l, i, j, t), f.sbNode(l+1, i, j, t), a.ViaLength)
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+func (f *Fabric3D) sbNode(layer, i, j, t int) graph.NodeID {
+	return graph.NodeID(layer*f.perLayer + (j*(f.Cols+1)+i)*f.W + t)
+}
+
+// PinNode returns the routing-graph node of a pin.
+func (f *Fabric3D) PinNode(p Pin3D) graph.NodeID {
+	if p.Layer < 0 || p.Layer >= f.Layers {
+		panic(fmt.Sprintf("fpga3d: layer %d out of range", p.Layer))
+	}
+	idx := ((p.Pin.Y*f.Cols+p.Pin.X)*4+int(p.Pin.Side))*f.PinsPerSide + p.Pin.Index
+	return graph.NodeID(p.Layer*f.perLayer + f.numSB + idx)
+}
+
+// pinSpanSBs returns the track-0 switch-block nodes bounding a pin's span.
+func (f *Fabric3D) pinSpanSBs(p Pin3D) (graph.NodeID, graph.NodeID) {
+	l, x, y := p.Layer, p.Pin.X, p.Pin.Y
+	switch p.Pin.Side {
+	case fpga.South:
+		return f.sbNode(l, x, y, 0), f.sbNode(l, x+1, y, 0)
+	case fpga.North:
+		return f.sbNode(l, x, y+1, 0), f.sbNode(l, x+1, y+1, 0)
+	case fpga.West:
+		return f.sbNode(l, x, y, 0), f.sbNode(l, x, y+1, 0)
+	case fpga.East:
+		return f.sbNode(l, x+1, y, 0), f.sbNode(l, x+1, y+1, 0)
+	}
+	panic("fpga3d: bad side")
+}
+
+// Graph exposes the routing graph.
+func (f *Fabric3D) Graph() *graph.Graph { return f.g }
+
+// BeginNet disables the connection-block taps of every pin not in pins
+// (mirroring the 2D fabric's rule that pins are not routing switches);
+// already-consumed tap edges stay disabled.
+func (f *Fabric3D) BeginNet(pins []Pin3D) {
+	active := make(map[graph.NodeID]bool, len(pins))
+	for _, p := range pins {
+		active[f.PinNode(p)] = true
+	}
+	for node, taps := range f.pinTaps {
+		on := active[node]
+		for _, e := range taps {
+			if f.consumed == nil || !f.consumed[e] {
+				f.g.SetEnabled(e, on)
+			}
+		}
+	}
+}
+
+// CommitNet disables every edge of the routed tree so later nets stay
+// electrically disjoint.
+func (f *Fabric3D) CommitNet(t graph.Tree) {
+	if f.consumed == nil {
+		f.consumed = make(map[graph.EdgeID]bool)
+	}
+	for _, id := range t.Edges {
+		f.consumed[id] = true
+		f.g.SetEnabled(id, false)
+	}
+}
+
+// Reset re-enables all edges.
+func (f *Fabric3D) Reset() {
+	f.consumed = nil
+	for id := 0; id < f.g.NumEdges(); id++ {
+		f.g.SetEnabled(graph.EdgeID(id), true)
+	}
+}
+
+// BaseWirelength sums the uncongested lengths of a tree's edges.
+func (f *Fabric3D) BaseWirelength(t graph.Tree) float64 {
+	total := 0.0
+	for _, id := range t.Edges {
+		total += f.baseW[id]
+	}
+	return total
+}
+
+// ErrNoPlace reports that a netlist cannot be folded onto the 3D array.
+var ErrNoPlace = errors.New("fpga3d: netlist does not fit the stacked array")
+
+// FoldPlacement maps a 2D netlist onto an L-layer stack by accordion
+// folding (boustrophedon): block row y goes to layer y / rowsPerLayer, and
+// odd layers are mirrored so rows adjacent across a fold boundary end up
+// vertically aligned — a connection that crossed the boundary in 2D
+// becomes a single via hop in 3D.
+func FoldPlacement(ckt *circuits.Circuit, layers int) (Arch, [][]Pin3D, error) {
+	rowsPerLayer := (ckt.Rows + layers - 1) / layers
+	arch := DefaultArch(ckt.Cols, rowsPerLayer, layers, 1)
+	arch.PinsPerSide = ckt.ArchAt(4).PinsPerSide
+	var nets [][]Pin3D
+	for _, n := range ckt.Nets {
+		var pins []Pin3D
+		for _, p := range n.Pins {
+			layer := p.Y / rowsPerLayer
+			if layer >= layers {
+				return Arch{}, nil, ErrNoPlace
+			}
+			y := p.Y % rowsPerLayer
+			if layer%2 == 1 {
+				y = rowsPerLayer - 1 - y // mirror odd layers
+			}
+			pins = append(pins, Pin3D{
+				Layer: layer,
+				Pin:   fpga.Pin{X: p.X, Y: y, Side: p.Side, Index: p.Index},
+			})
+		}
+		nets = append(nets, pins)
+	}
+	return arch, nets, nil
+}
+
+// RouteAll routes every net sequentially with IKMB on the 3D graph,
+// committing each tree; it returns total wirelength or an error if any net
+// fails (the 3D study routes at generous widths, so no rip-up pass loop is
+// needed).
+func (f *Fabric3D) RouteAll(nets [][]Pin3D) (float64, error) {
+	total := 0.0
+	for i, pins := range nets {
+		f.BeginNet(pins)
+		terms := make([]graph.NodeID, len(pins))
+		for j, p := range pins {
+			terms[j] = f.PinNode(p)
+		}
+		cache := graph.NewSPTCacheWithin(f.g, terms)
+		// Candidate scan elided (empty pool): plain KMB keeps the 3D study
+		// fast and applies the identical construction in 2D and 3D.
+		tree, err := core.IGMST(cache, terms, steiner.KMB, core.Options{
+			Candidates: []graph.NodeID{},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fpga3d: net %d: %w", i, err)
+		}
+		f.CommitNet(tree)
+		total += f.BaseWirelength(tree)
+	}
+	return total, nil
+}

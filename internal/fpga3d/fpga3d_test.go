@@ -1,0 +1,177 @@
+package fpga3d
+
+import (
+	"testing"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/fpga"
+	"fpgarouter/internal/graph"
+)
+
+func TestArchValidate(t *testing.T) {
+	bad := []Arch{
+		{Cols: 0, Rows: 1, Layers: 1, W: 1, Fc: 1, ViaEvery: 1, PinsPerSide: 1},
+		{Cols: 1, Rows: 1, Layers: 0, W: 1, Fc: 1, ViaEvery: 1, PinsPerSide: 1},
+		{Cols: 1, Rows: 1, Layers: 1, W: 1, Fc: 2, ViaEvery: 1, PinsPerSide: 1},
+		{Cols: 1, Rows: 1, Layers: 1, W: 1, Fc: 1, ViaEvery: 0, PinsPerSide: 1},
+		{Cols: 1, Rows: 1, Layers: 1, W: 1, Fc: 1, ViaEvery: 1, ViaLength: -1, PinsPerSide: 1},
+	}
+	for i, a := range bad {
+		if a.Validate() == nil {
+			t.Fatalf("case %d accepted: %+v", i, a)
+		}
+	}
+	if err := DefaultArch(3, 3, 2, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossLayerConnectivity(t *testing.T) {
+	f, err := NewFabric3D(DefaultArch(3, 3, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Pin3D{Layer: 0, Pin: fpga.Pin{X: 0, Y: 0, Side: fpga.North}}
+	dst := Pin3D{Layer: 2, Pin: fpga.Pin{X: 2, Y: 2, Side: fpga.South, Index: 1}}
+	f.BeginNet([]Pin3D{src, dst})
+	spt := f.Graph().Dijkstra(f.PinNode(src))
+	if !spt.Reachable(f.PinNode(dst)) {
+		t.Fatal("cross-layer pins not connected")
+	}
+	// The path must cross two layers: its cost includes ≥ 2 via lengths.
+	if spt.Dist[f.PinNode(dst)] < 2*f.ViaLength {
+		t.Fatalf("cross-layer distance %v implausibly small", spt.Dist[f.PinNode(dst)])
+	}
+}
+
+func TestViaSparsity(t *testing.T) {
+	dense, err := NewFabric3D(Arch{Cols: 2, Rows: 2, Layers: 2, W: 4, Fc: 4, ViaEvery: 1, ViaLength: 1, PinsPerSide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewFabric3D(Arch{Cols: 2, Rows: 2, Layers: 2, W: 4, Fc: 4, ViaEvery: 4, ViaLength: 1, PinsPerSide: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Graph().NumEdges() <= sparse.Graph().NumEdges() {
+		t.Fatal("denser via grid should add more edges")
+	}
+}
+
+func TestSingleLayerEqualsNoVias(t *testing.T) {
+	f, err := NewFabric3D(DefaultArch(3, 3, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All node IDs must be within one layer's range.
+	if f.Graph().NumNodes() != f.perLayer {
+		t.Fatalf("single-layer fabric has %d nodes, want %d", f.Graph().NumNodes(), f.perLayer)
+	}
+}
+
+func TestCommitAndReset(t *testing.T) {
+	f, err := NewFabric3D(DefaultArch(3, 3, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []Pin3D{
+		{Layer: 0, Pin: fpga.Pin{X: 0, Y: 0, Side: fpga.North}},
+		{Layer: 1, Pin: fpga.Pin{X: 2, Y: 2, Side: fpga.South}},
+	}
+	f.BeginNet(pins)
+	spt := f.Graph().Dijkstra(f.PinNode(pins[0]))
+	tree := graph.NewTree(f.Graph(), spt.PathTo(f.PinNode(pins[1])))
+	f.CommitNet(tree)
+	for _, id := range tree.Edges {
+		if f.Graph().Enabled(id) {
+			t.Fatal("committed edge still enabled")
+		}
+	}
+	f.Reset()
+	for _, id := range tree.Edges {
+		if !f.Graph().Enabled(id) {
+			t.Fatal("edge still disabled after reset")
+		}
+	}
+}
+
+func TestFoldPlacement(t *testing.T) {
+	spec := circuits.Spec{Name: "t", Series: circuits.Series4000, Cols: 4, Rows: 6, Nets2_3: 6, Nets4_10: 2}
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, nets, err := FoldPlacement(ckt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Rows != 2 || arch.Layers != 3 {
+		t.Fatalf("folded arch: %+v", arch)
+	}
+	if len(nets) != len(ckt.Nets) {
+		t.Fatal("net count changed by folding")
+	}
+	for i, pins := range nets {
+		for j, p := range pins {
+			orig := ckt.Nets[i].Pins[j]
+			y := p.Pin.Y
+			if p.Layer%2 == 1 {
+				y = arch.Rows - 1 - y // undo the boustrophedon mirror
+			}
+			if p.Layer*arch.Rows+y != orig.Y || p.Pin.X != orig.X {
+				t.Fatalf("net %d pin %d folded incorrectly: %v from %v", i, j, p, orig)
+			}
+		}
+	}
+}
+
+// The headline 3D claim: folding a tall 2D array into layers shortens the
+// interconnect of vertically-spanning nets on the same netlist. The test
+// netlist is built by hand with column-spanning 2-pin nets (the nets that
+// benefit from stacking) plus a few local ones.
+func TestStackingReducesWirelength(t *testing.T) {
+	ckt := &circuits.Circuit{Spec: circuits.Spec{
+		Name: "t3d", Series: circuits.Series4000, Cols: 6, Rows: 8,
+	}}
+	id := 0
+	addNet := func(pins ...fpga.Pin) {
+		ckt.Nets = append(ckt.Nets, circuits.Net{ID: id, Pins: pins})
+		id++
+	}
+	// Column spanners: (x, 0) → (x, 7).
+	for x := 0; x < 6; x++ {
+		addNet(
+			fpga.Pin{X: x, Y: 0, Side: fpga.North},
+			fpga.Pin{X: x, Y: 7, Side: fpga.South},
+		)
+	}
+	// A few local nets for realism.
+	for x := 0; x < 5; x++ {
+		addNet(
+			fpga.Pin{X: x, Y: 3, Side: fpga.East},
+			fpga.Pin{X: x + 1, Y: 3, Side: fpga.West},
+		)
+	}
+	route := func(layers int) float64 {
+		arch, nets, err := FoldPlacement(ckt, layers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch.W = 14 // generous width: the study compares wirelength, not capacity
+		arch.Fc = arch.W
+		fab, err := NewFabric3D(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := fab.RouteAll(nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wl
+	}
+	flat := route(1)
+	stacked := route(2)
+	if stacked >= flat {
+		t.Fatalf("2-layer wirelength %v not below flat %v", stacked, flat)
+	}
+}

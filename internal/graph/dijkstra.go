@@ -1,0 +1,260 @@
+package graph
+
+// SPT is a single-source shortest-paths tree produced by Dijkstra.
+//
+// Dist[v] is the cost of a shortest path from Source to v (Inf if v is
+// unreachable through enabled edges). ParentEdge[v] is the edge used to
+// reach v on one such shortest path (None for the source and unreachable
+// nodes); ParentNode[v] is the corresponding predecessor.
+type SPT struct {
+	Source     NodeID
+	Dist       []float64
+	ParentEdge []EdgeID
+	ParentNode []NodeID
+}
+
+// pqItem is an entry in the Dijkstra priority queue. The queue is a plain
+// binary heap with lazy deletion: stale entries are skipped on pop.
+type pqItem struct {
+	dist float64
+	node NodeID
+}
+
+type pq []pqItem
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	h := *q
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].dist < h[small].dist {
+			small = l
+		}
+		if r < len(h) && h[r].dist < h[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	*q = h
+	return top
+}
+
+// Dijkstra computes shortest paths from src over the enabled edges of g.
+// Ties are broken deterministically by edge insertion order, so repeated
+// runs on the same graph yield identical trees.
+func (g *Graph) Dijkstra(src NodeID) *SPT {
+	return g.dijkstra(src, nil)
+}
+
+// DijkstraWithin computes shortest paths from src but stops as soon as
+// every node of stop has been settled; nodes not settled by then are
+// reported unreachable (Dist = Inf). Distances and paths for stop nodes are
+// exact — the search is not constrained to any region, it merely terminates
+// early — so this is a pure optimization for callers that only query a
+// known node subset (the router's per-net caches).
+func (g *Graph) DijkstraWithin(src NodeID, stop []NodeID) *SPT {
+	if stop == nil {
+		return g.dijkstra(src, nil)
+	}
+	want := make([]bool, g.n)
+	remaining := 0
+	for _, v := range stop {
+		if !want[v] {
+			want[v] = true
+			remaining++
+		}
+	}
+	if !want[src] {
+		want[src] = true
+		remaining++
+	}
+	return g.dijkstra(src, &stopSet{want: want, remaining: remaining})
+}
+
+type stopSet struct {
+	want      []bool
+	remaining int
+}
+
+func (g *Graph) dijkstra(src NodeID, stop *stopSet) *SPT {
+	n := g.n
+	t := &SPT{
+		Source:     src,
+		Dist:       make([]float64, n),
+		ParentEdge: make([]EdgeID, n),
+		ParentNode: make([]NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Inf
+		t.ParentEdge[i] = None
+		t.ParentNode[i] = None
+	}
+	t.Dist[src] = 0
+	done := make([]bool, n)
+	q := make(pq, 0, 64)
+	q.push(pqItem{0, src})
+	for len(q) > 0 {
+		it := q.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if stop != nil && stop.want[u] {
+			stop.remaining--
+			if stop.remaining == 0 {
+				// Every requested node is settled; invalidate tentative
+				// state of unsettled nodes so they read as unreachable
+				// rather than carrying half-relaxed distances.
+				for v := 0; v < n; v++ {
+					if !done[v] {
+						t.Dist[v] = Inf
+						t.ParentEdge[v] = None
+						t.ParentNode[v] = None
+					}
+				}
+				return t
+			}
+		}
+		du := t.Dist[u]
+		for _, a := range g.adj[u] {
+			e := &g.edges[a.ID]
+			if !e.Enabled || done[a.To] {
+				continue
+			}
+			nd := du + e.W
+			if nd < t.Dist[a.To] {
+				t.Dist[a.To] = nd
+				t.ParentEdge[a.To] = a.ID
+				t.ParentNode[a.To] = u
+				q.push(pqItem{nd, a.To})
+			}
+		}
+	}
+	return t
+}
+
+// PathTo returns the edge IDs of the tree path from the source to v, in
+// source-to-v order, or nil if v is unreachable. For v == Source it returns
+// an empty (non-nil) slice.
+func (t *SPT) PathTo(v NodeID) []EdgeID {
+	if t.Dist[v] == Inf {
+		return nil
+	}
+	var rev []EdgeID
+	for u := v; t.ParentEdge[u] != None; u = t.ParentNode[u] {
+		rev = append(rev, t.ParentEdge[u])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev == nil {
+		rev = []EdgeID{}
+	}
+	return rev
+}
+
+// Reachable reports whether v is reachable from the source.
+func (t *SPT) Reachable(v NodeID) bool { return t.Dist[v] != Inf }
+
+// SPTCache memoizes Dijkstra trees by source node. The iterated
+// constructions (IGMST, IDOM) evaluate their base heuristic for many
+// candidate Steiner nodes on the same graph; the cache ensures each distinct
+// source is expanded exactly once per graph state.
+//
+// The cache MUST be invalidated (discarded) whenever edge weights or enable
+// flags change; it performs no change detection by design — algorithms in
+// this repository route a net against a frozen graph state, then mutate.
+type SPTCache struct {
+	g     *Graph
+	trees map[NodeID]*SPT
+	stop  []NodeID // optional early-termination set (nil = settle all)
+	// Runs counts actual Dijkstra executions, exposed for ablation benches.
+	Runs int
+}
+
+// NewSPTCache returns an empty cache over g.
+func NewSPTCache(g *Graph) *SPTCache {
+	return &SPTCache{g: g, trees: make(map[NodeID]*SPT)}
+}
+
+// NewSPTCacheWithin returns a cache whose trees are computed with
+// DijkstraWithin(src, stop): exact for every node of stop, unreachable
+// beyond. Callers must only query distances/paths to nodes of stop (the
+// router queries a net's pins plus its Steiner-candidate pool).
+func NewSPTCacheWithin(g *Graph, stop []NodeID) *SPTCache {
+	return &SPTCache{g: g, trees: make(map[NodeID]*SPT), stop: stop}
+}
+
+// Tree returns the shortest-paths tree rooted at src, computing it on first
+// use.
+func (c *SPTCache) Tree(src NodeID) *SPT {
+	if t, ok := c.trees[src]; ok {
+		return t
+	}
+	t := c.g.DijkstraWithin(src, c.stop)
+	c.trees[src] = t
+	c.Runs++
+	return t
+}
+
+// Dist returns the shortest-path distance between u and v, computing (and
+// caching) a tree rooted at u if needed. Distances are symmetric on
+// undirected graphs, so Dist prefers whichever of the two endpoints is
+// already cached.
+func (c *SPTCache) Dist(u, v NodeID) float64 {
+	if t, ok := c.trees[u]; ok {
+		return t.Dist[v]
+	}
+	if t, ok := c.trees[v]; ok {
+		return t.Dist[u]
+	}
+	return c.Tree(u).Dist[v]
+}
+
+// CachedTree returns the tree rooted at v if it has already been computed.
+func (c *SPTCache) CachedTree(v NodeID) (*SPT, bool) {
+	t, ok := c.trees[v]
+	return t, ok
+}
+
+// Path returns the edge IDs of one shortest path between u and v (nil if
+// disconnected), preferring whichever endpoint already has a cached tree so
+// that candidate-node evaluations never trigger fresh Dijkstra runs. The
+// path's orientation (u→v vs v→u) is unspecified; callers union undirected
+// edges.
+func (c *SPTCache) Path(u, v NodeID) []EdgeID {
+	if t, ok := c.trees[u]; ok {
+		return t.PathTo(v)
+	}
+	if t, ok := c.trees[v]; ok {
+		return t.PathTo(u)
+	}
+	return c.Tree(u).PathTo(v)
+}
+
+// Graph returns the underlying graph.
+func (c *SPTCache) Graph() *Graph { return c.g }

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: DijkstraWithin reports exactly the same distances and path
+// costs as the full Dijkstra for every node of the stop set, and anything
+// it reports as reachable has a correct path.
+func TestQuickDijkstraWithinExactOnStopSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := RandomConnected(rng, n, n*2, 8)
+		for i := 0; i < g.NumEdges()/8; i++ {
+			g.SetEnabled(EdgeID(rng.Intn(g.NumEdges())), false)
+		}
+		src := NodeID(rng.Intn(n))
+		stop := RandomNet(rng, g, 1+rng.Intn(n))
+		full := g.Dijkstra(src)
+		within := g.DijkstraWithin(src, stop)
+		for _, v := range stop {
+			fd, wd := full.Dist[v], within.Dist[v]
+			if math.IsInf(fd, 1) != math.IsInf(wd, 1) {
+				return false
+			}
+			if !math.IsInf(fd, 1) && math.Abs(fd-wd) > 1e-9 {
+				return false
+			}
+			if within.Reachable(v) {
+				p := within.PathTo(v)
+				if math.Abs(g.TotalWeight(p)-wd) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraWithinUnsettledNodesAreInf(t *testing.T) {
+	// Line 0-1-2-3-4; stopping at {1} must leave 3, 4 marked unreachable
+	// (not with stale tentative distances).
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	spt := g.DijkstraWithin(0, []NodeID{1})
+	if spt.Dist[1] != 1 {
+		t.Fatalf("dist[1] = %v", spt.Dist[1])
+	}
+	if spt.Reachable(4) {
+		t.Fatal("node 4 should be reported unreachable after early stop")
+	}
+	if spt.PathTo(4) != nil {
+		t.Fatal("PathTo(4) should be nil after early stop")
+	}
+}
+
+func TestDijkstraWithinNilStopIsFull(t *testing.T) {
+	g := NewGrid(4, 4, 1)
+	a := g.Dijkstra(0)
+	b := g.DijkstraWithin(0, nil)
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] {
+			t.Fatalf("nil stop differs at %d", v)
+		}
+	}
+}
+
+func TestDijkstraWithinDisconnectedStopNode(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	// Node 2 is isolated; the search must terminate and report it Inf.
+	spt := g.DijkstraWithin(0, []NodeID{1, 2})
+	if !spt.Reachable(1) || spt.Reachable(2) {
+		t.Fatalf("dist = %v", spt.Dist)
+	}
+}
+
+func TestSPTCacheWithinUsesStopSet(t *testing.T) {
+	g := NewGrid(10, 10, 1)
+	stop := []NodeID{g.Node(1, 1), g.Node(2, 2)}
+	c := NewSPTCacheWithin(g.Graph, stop)
+	tr := c.Tree(g.Node(1, 1))
+	if tr.Dist[g.Node(2, 2)] != 2 {
+		t.Fatalf("stop-set dist = %v", tr.Dist[g.Node(2, 2)])
+	}
+	// Far corner should not have been settled (distance 14+ vs stop max 2).
+	if tr.Reachable(g.Node(9, 9)) {
+		t.Fatal("far corner settled despite early stop")
+	}
+}

@@ -1,0 +1,176 @@
+// Package graph provides the weighted-graph substrate used by all routing
+// algorithms in this repository: a compact undirected graph with mutable
+// edge weights and edge enable/disable flags (so a router can commit wire
+// segments to nets), single-source shortest paths, minimum spanning trees,
+// and small utilities (union-find, grid builders, an all-pairs oracle).
+//
+// The graph model follows Section 2 of Alexander & Robins (DAC 1995): an
+// FPGA's routing resources induce a weighted graph G = (V, E) where each
+// edge weight reflects wirelength and, as routing proceeds, congestion.
+// Nets are sets of node IDs; routing solutions are trees of edge IDs.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node in a Graph. Nodes are dense integers in [0, N).
+type NodeID = int32
+
+// EdgeID identifies an edge in a Graph. Edges are dense integers in [0, E).
+type EdgeID = int32
+
+// None is the sentinel for "no node" / "no edge" in parent arrays.
+const None int32 = -1
+
+// Inf is the distance assigned to unreachable nodes.
+var Inf = math.Inf(1)
+
+// Edge is a single undirected weighted edge.
+type Edge struct {
+	U, V    NodeID
+	W       float64
+	Enabled bool
+}
+
+// Arc is one direction of an edge as stored in an adjacency list.
+type Arc struct {
+	To NodeID
+	ID EdgeID
+}
+
+// Graph is a mutable undirected weighted graph.
+//
+// The zero value is an empty graph with no nodes; use New to create a graph
+// with a fixed node count. Node IDs are assigned by the caller in [0, N);
+// edge IDs are assigned densely by AddEdge in insertion order, which keeps
+// all algorithms in this module deterministic for a fixed construction
+// order.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Arc, n)}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges reports the number of edges ever added (enabled or not).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge adds an undirected edge {u, v} with weight w and returns its ID.
+// Self-loops and negative weights are rejected because no algorithm in this
+// repository is defined over them; parallel edges are allowed (FPGA channels
+// legitimately contain parallel tracks).
+func (g *Graph) AddEdge(u, v NodeID, w float64) EdgeID {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid weight %v on edge {%d,%d}", w, u, v))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w, Enabled: true})
+	g.adj[u] = append(g.adj[u], Arc{To: v, ID: id})
+	g.adj[v] = append(g.adj[v], Arc{To: u, ID: id})
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Weight returns the weight of edge id.
+func (g *Graph) Weight(id EdgeID) float64 { return g.edges[id].W }
+
+// SetWeight updates the weight of edge id. Weights must stay non-negative.
+func (g *Graph) SetWeight(id EdgeID, w float64) {
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid weight %v on edge %d", w, id))
+	}
+	g.edges[id].W = w
+}
+
+// AddWeight increments the weight of edge id by delta (used for congestion
+// updates after a net is routed).
+func (g *Graph) AddWeight(id EdgeID, delta float64) {
+	g.SetWeight(id, g.edges[id].W+delta)
+}
+
+// Enabled reports whether edge id is currently usable.
+func (g *Graph) Enabled(id EdgeID) bool { return g.edges[id].Enabled }
+
+// SetEnabled enables or disables edge id. Disabled edges are invisible to
+// every traversal; the router disables edges committed to a routed net so
+// that subsequent nets remain electrically disjoint.
+func (g *Graph) SetEnabled(id EdgeID, enabled bool) { g.edges[id].Enabled = enabled }
+
+// Adj returns the adjacency list of u, including arcs over disabled edges;
+// callers that traverse must check Enabled. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Adj(u NodeID) []Arc { return g.adj[u] }
+
+// Degree returns the number of enabled edges incident to u.
+func (g *Graph) Degree(u NodeID) int {
+	d := 0
+	for _, a := range g.adj[u] {
+		if g.edges[a.ID].Enabled {
+			d++
+		}
+	}
+	return d
+}
+
+// Other returns the endpoint of edge id that is not u.
+func (g *Graph) Other(id EdgeID, u NodeID) NodeID {
+	e := g.edges[id]
+	if e.U == u {
+		return e.V
+	}
+	if e.V == u {
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", u, id))
+}
+
+// Clone returns a deep copy of the graph. The copy shares no state with the
+// original, so the router can restart passes from a pristine graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, edges: make([]Edge, len(g.edges)), adj: make([][]Arc, g.n)}
+	copy(c.edges, g.edges)
+	for i := range g.adj {
+		c.adj[i] = append([]Arc(nil), g.adj[i]...)
+	}
+	return c
+}
+
+// EnabledEdgeCount returns the number of currently enabled edges.
+func (g *Graph) EnabledEdgeCount() int {
+	c := 0
+	for i := range g.edges {
+		if g.edges[i].Enabled {
+			c++
+		}
+	}
+	return c
+}
+
+// TotalWeight returns the sum of the weights of the given edges.
+func (g *Graph) TotalWeight(ids []EdgeID) float64 {
+	t := 0.0
+	for _, id := range ids {
+		t += g.edges[id].W
+	}
+	return t
+}

@@ -1,0 +1,51 @@
+package graph
+
+// GridGraph is a W×H rectilinear grid graph with unit-ish edge weights, the
+// workload substrate of Section 5's Table 1 ("random nets, uniformly
+// distributed in 20×20 weighted grid graphs"). Node (x, y) has ID y*W + x;
+// edges connect 4-neighbours.
+type GridGraph struct {
+	*Graph
+	W, H int
+}
+
+// NewGrid returns a W×H grid graph with all edge weights set to w. Edges
+// are added rows-first (horizontal edge before vertical edge at each node),
+// which fixes deterministic edge IDs.
+func NewGrid(w, h int, weight float64) *GridGraph {
+	g := New(w * h)
+	gr := &GridGraph{Graph: g, W: w, H: h}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(gr.Node(x, y), gr.Node(x+1, y), weight)
+			}
+			if y+1 < h {
+				g.AddEdge(gr.Node(x, y), gr.Node(x, y+1), weight)
+			}
+		}
+	}
+	return gr
+}
+
+// Node returns the node ID at grid coordinates (x, y).
+func (g *GridGraph) Node(x, y int) NodeID { return NodeID(y*g.W + x) }
+
+// Coords returns the grid coordinates of node v.
+func (g *GridGraph) Coords(v NodeID) (x, y int) { return int(v) % g.W, int(v) / g.W }
+
+// MeanWeight returns the average weight over enabled edges, matching the
+// congestion statistic w̄ reported in Table 1.
+func (g *GridGraph) MeanWeight() float64 {
+	sum, cnt := 0.0, 0
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Enabled(EdgeID(i)) {
+			sum += g.Weight(EdgeID(i))
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrDisconnected is returned when a spanning structure is requested over a
+// graph (or node subset) that is not connected through enabled edges.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// KruskalMST returns the edge IDs of a minimum spanning tree over the
+// enabled edges of g, or ErrDisconnected. Ties are broken by edge ID so the
+// result is deterministic.
+func (g *Graph) KruskalMST() ([]EdgeID, error) {
+	ids := make([]EdgeID, 0, len(g.edges))
+	for i := range g.edges {
+		if g.edges[i].Enabled {
+			ids = append(ids, EdgeID(i))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		wa, wb := g.edges[ids[a]].W, g.edges[ids[b]].W
+		if wa != wb {
+			return wa < wb
+		}
+		return ids[a] < ids[b]
+	})
+	uf := NewUnionFind(g.n)
+	mst := make([]EdgeID, 0, g.n-1)
+	for _, id := range ids {
+		e := g.edges[id]
+		if uf.Union(e.U, e.V) {
+			mst = append(mst, id)
+			if len(mst) == g.n-1 {
+				break
+			}
+		}
+	}
+	if len(mst) != g.n-1 && g.n > 1 {
+		return nil, ErrDisconnected
+	}
+	return mst, nil
+}
+
+// PrimMST returns a minimum spanning tree over the enabled edges of g grown
+// from node start, or ErrDisconnected. It is the cross-oracle for Kruskal in
+// tests and the MST of choice on the dense distance graphs built by the
+// Steiner heuristics.
+func (g *Graph) PrimMST(start NodeID) ([]EdgeID, error) {
+	if g.n == 0 {
+		return nil, nil
+	}
+	inTree := make([]bool, g.n)
+	best := make([]float64, g.n)
+	bestEdge := make([]EdgeID, g.n)
+	for i := range best {
+		best[i] = Inf
+		bestEdge[i] = None
+	}
+	best[start] = 0
+	q := make(pq, 0, 64)
+	q.push(pqItem{0, start})
+	mst := make([]EdgeID, 0, g.n-1)
+	for len(q) > 0 {
+		it := q.pop()
+		u := it.node
+		if inTree[u] {
+			continue
+		}
+		inTree[u] = true
+		if bestEdge[u] != None {
+			mst = append(mst, bestEdge[u])
+		}
+		for _, a := range g.adj[u] {
+			e := &g.edges[a.ID]
+			if !e.Enabled || inTree[a.To] {
+				continue
+			}
+			if e.W < best[a.To] {
+				best[a.To] = e.W
+				bestEdge[a.To] = a.ID
+				q.push(pqItem{e.W, a.To})
+			}
+		}
+	}
+	if len(mst) != g.n-1 && g.n > 1 {
+		return nil, ErrDisconnected
+	}
+	return mst, nil
+}
+
+// MSTCost returns the total weight of a minimum spanning tree over the
+// enabled edges, or ErrDisconnected.
+func (g *Graph) MSTCost() (float64, error) {
+	mst, err := g.PrimMST(0)
+	if err != nil {
+		return 0, err
+	}
+	return g.TotalWeight(mst), nil
+}

@@ -1,0 +1,61 @@
+package graph
+
+// FloydWarshall computes all-pairs shortest-path distances over the enabled
+// edges. It is O(V^3) and exists as a test oracle for Dijkstra and the
+// distance-graph constructions; production code uses per-source Dijkstra.
+func (g *Graph) FloydWarshall() [][]float64 {
+	n := g.n
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for _, e := range g.edges {
+		if !e.Enabled {
+			continue
+		}
+		if e.W < d[e.U][e.V] {
+			d[e.U][e.V] = e.W
+			d[e.V][e.U] = e.W
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik == Inf {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// ConnectedComponent returns the set of nodes reachable from src through
+// enabled edges (including src), as a boolean membership slice.
+func (g *Graph) ConnectedComponent(src NodeID) []bool {
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if g.edges[a.ID].Enabled && !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,41 @@
+package graph
+
+import "math/rand"
+
+// RandomConnected returns a random connected graph with n nodes and
+// approximately m edges, with weights uniform in [1, maxW]. It first builds
+// a random spanning tree (guaranteeing connectivity), then adds random
+// extra edges. The paper's CPU-time experiments use |V|=50, |E|=1000
+// instances of exactly this kind.
+func RandomConnected(rng *rand.Rand, n, m int, maxW float64) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := NodeID(perm[i])
+		v := NodeID(perm[rng.Intn(i)])
+		g.AddEdge(u, v, 1+rng.Float64()*(maxW-1))
+	}
+	for g.NumEdges() < m {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, 1+rng.Float64()*(maxW-1))
+	}
+	return g
+}
+
+// RandomNet draws k distinct nodes from g uniformly at random; the first is
+// the net's source. It panics if k exceeds the node count.
+func RandomNet(rng *rand.Rand, g *Graph, k int) []NodeID {
+	if k > g.NumNodes() {
+		panic("graph: net larger than graph")
+	}
+	perm := rng.Perm(g.NumNodes())
+	net := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		net[i] = NodeID(perm[i])
+	}
+	return net
+}

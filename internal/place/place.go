@@ -1,0 +1,167 @@
+// Package place improves circuit placements by simulated annealing on
+// half-perimeter wirelength (HPWL). The paper assumes placement has been
+// performed and notes its routing algorithms "easily integrate into
+// existing layout frameworks to yield combined place-and-route tools";
+// this package provides that placement stage: it permutes logic blocks
+// (moving all their pins with them) to shorten nets before the router runs,
+// which directly reduces achievable channel width.
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"fpgarouter/internal/circuits"
+)
+
+// Stats reports an annealing run.
+type Stats struct {
+	InitialHPWL float64
+	FinalHPWL   float64
+	Moves       int
+	Accepted    int
+}
+
+// Options tunes the annealer; zero values select defaults scaled to the
+// circuit size.
+type Options struct {
+	// Moves is the total number of proposed swaps (default 200·blocks).
+	Moves int
+	// T0 is the initial temperature (default: a tenth of the initial
+	// average net HPWL, the classic "accept most moves at first" regime).
+	T0 float64
+	// Cooling is the per-step geometric cooling factor (default set so the
+	// temperature decays to ~1e-3·T0 over the run).
+	Cooling float64
+}
+
+// Anneal returns a new circuit with an improved placement: logic blocks are
+// permuted to reduce total HPWL, and each net's pins move with their
+// blocks (sides and pin indices are preserved, so pin-capacity invariants
+// are untouched). Deterministic for a given seed.
+func Anneal(ckt *circuits.Circuit, seed int64, opts Options) (*circuits.Circuit, Stats) {
+	cols, rows := ckt.Cols, ckt.Rows
+	nBlocks := cols * rows
+	if opts.Moves == 0 {
+		opts.Moves = 200 * nBlocks
+	}
+
+	// posOf[b] is the current position (block slot) of original block b;
+	// blockAt is its inverse. Start from the identity placement.
+	posOf := make([]int, nBlocks)
+	blockAt := make([]int, nBlocks)
+	for i := range posOf {
+		posOf[i] = i
+		blockAt[i] = i
+	}
+
+	// Net → the original block of each pin; block → nets touching it.
+	netBlocks := make([][]int, len(ckt.Nets))
+	netsOfBlock := make([][]int, nBlocks)
+	for i, n := range ckt.Nets {
+		for _, p := range n.Pins {
+			b := p.Y*cols + p.X
+			netBlocks[i] = append(netBlocks[i], b)
+			netsOfBlock[b] = append(netsOfBlock[b], i)
+		}
+	}
+
+	hpwl := func(net int) float64 {
+		minX, minY := cols, rows
+		maxX, maxY := 0, 0
+		for _, b := range netBlocks[net] {
+			pos := posOf[b]
+			x, y := pos%cols, pos/cols
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		return float64(maxX - minX + maxY - minY)
+	}
+
+	netCost := make([]float64, len(ckt.Nets))
+	total := 0.0
+	for i := range ckt.Nets {
+		netCost[i] = hpwl(i)
+		total += netCost[i]
+	}
+	st := Stats{InitialHPWL: total}
+
+	if opts.T0 == 0 {
+		if len(ckt.Nets) > 0 {
+			opts.T0 = total / float64(len(ckt.Nets)) / 10
+		}
+		if opts.T0 <= 0 {
+			opts.T0 = 1
+		}
+	}
+	if opts.Cooling == 0 {
+		opts.Cooling = math.Pow(1e-3, 1/float64(opts.Moves))
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	temp := opts.T0
+	affected := make(map[int]bool, 8)
+	for move := 0; move < opts.Moves; move++ {
+		st.Moves++
+		p1 := rng.Intn(nBlocks)
+		p2 := rng.Intn(nBlocks)
+		if p1 == p2 {
+			temp *= opts.Cooling
+			continue
+		}
+		b1, b2 := blockAt[p1], blockAt[p2]
+		clear(affected)
+		for _, n := range netsOfBlock[b1] {
+			affected[n] = true
+		}
+		for _, n := range netsOfBlock[b2] {
+			affected[n] = true
+		}
+		// Tentatively swap and evaluate the delta over affected nets.
+		blockAt[p1], blockAt[p2] = b2, b1
+		posOf[b1], posOf[b2] = p2, p1
+		delta := 0.0
+		for n := range affected {
+			delta += hpwl(n) - netCost[n]
+		}
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			st.Accepted++
+			total += delta
+			for n := range affected {
+				netCost[n] = hpwl(n)
+			}
+		} else {
+			// Revert.
+			blockAt[p1], blockAt[p2] = b1, b2
+			posOf[b1], posOf[b2] = p1, p2
+		}
+		temp *= opts.Cooling
+	}
+	st.FinalHPWL = total
+
+	// Materialize the placed circuit: every pin moves to its block's new
+	// position (side and pin index travel with the block).
+	out := &circuits.Circuit{Spec: ckt.Spec}
+	for _, n := range ckt.Nets {
+		newNet := circuits.Net{ID: n.ID}
+		for _, p := range n.Pins {
+			b := p.Y*cols + p.X
+			pos := posOf[b]
+			q := p
+			q.X, q.Y = pos%cols, pos/cols
+			newNet.Pins = append(newNet.Pins, q)
+		}
+		out.Nets = append(out.Nets, newNet)
+	}
+	return out, st
+}

@@ -1,0 +1,138 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/fpga"
+)
+
+func scrambled(t *testing.T) *circuits.Circuit {
+	t.Helper()
+	// Synthesize a local netlist, then scramble its placement so the
+	// annealer has something to recover.
+	spec := circuits.Spec{Name: "p", Series: circuits.Series4000, Cols: 6, Rows: 6, Nets2_3: 20, Nets4_10: 6}
+	ckt, err := circuits.Synthesize(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	perm := rng.Perm(spec.Cols * spec.Rows)
+	out := &circuits.Circuit{Spec: ckt.Spec}
+	for _, n := range ckt.Nets {
+		nn := circuits.Net{ID: n.ID}
+		for _, p := range n.Pins {
+			pos := perm[p.Y*spec.Cols+p.X]
+			q := p
+			q.X, q.Y = pos%spec.Cols, pos/spec.Cols
+			nn.Pins = append(nn.Pins, q)
+		}
+		out.Nets = append(out.Nets, nn)
+	}
+	return out
+}
+
+func totalHPWL(ckt *circuits.Circuit) float64 {
+	total := 0.0
+	for _, n := range ckt.Nets {
+		minX, minY, maxX, maxY := ckt.Cols, ckt.Rows, 0, 0
+		for _, p := range n.Pins {
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		total += float64(maxX - minX + maxY - minY)
+	}
+	return total
+}
+
+func TestAnnealReducesHPWL(t *testing.T) {
+	ckt := scrambled(t)
+	before := totalHPWL(ckt)
+	placed, st := Anneal(ckt, 1, Options{})
+	after := totalHPWL(placed)
+	if st.InitialHPWL != before {
+		t.Fatalf("initial HPWL %v != measured %v", st.InitialHPWL, before)
+	}
+	if diff := st.FinalHPWL - after; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("tracked final HPWL %v != measured %v", st.FinalHPWL, after)
+	}
+	if after >= before {
+		t.Fatalf("annealing did not improve HPWL: %v -> %v", before, after)
+	}
+	if st.Accepted == 0 || st.Moves == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	ckt := scrambled(t)
+	a, _ := Anneal(ckt, 7, Options{Moves: 5000})
+	b, _ := Anneal(ckt, 7, Options{Moves: 5000})
+	for i := range a.Nets {
+		for j := range a.Nets[i].Pins {
+			if a.Nets[i].Pins[j] != b.Nets[i].Pins[j] {
+				t.Fatal("same seed produced different placements")
+			}
+		}
+	}
+}
+
+func TestAnnealPreservesPinStructure(t *testing.T) {
+	ckt := scrambled(t)
+	placed, _ := Anneal(ckt, 2, Options{})
+	if len(placed.Nets) != len(ckt.Nets) {
+		t.Fatal("net count changed")
+	}
+	// Pins stay unique, keep their side/index, and stay in the array.
+	seen := map[fpga.Pin]bool{}
+	for i, n := range placed.Nets {
+		if len(n.Pins) != len(ckt.Nets[i].Pins) {
+			t.Fatalf("net %d pin count changed", i)
+		}
+		for j, p := range n.Pins {
+			orig := ckt.Nets[i].Pins[j]
+			if p.Side != orig.Side || p.Index != orig.Index {
+				t.Fatalf("net %d pin %d side/index changed: %v -> %v", i, j, orig, p)
+			}
+			if p.X < 0 || p.X >= ckt.Cols || p.Y < 0 || p.Y >= ckt.Rows {
+				t.Fatalf("pin %v left the array", p)
+			}
+			if seen[p] {
+				t.Fatalf("pin %v now used twice", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestAnnealMovesBlocksAtomically(t *testing.T) {
+	// Two pins on the same block must still share a block afterwards.
+	ckt := &circuits.Circuit{Spec: circuits.Spec{Name: "a", Series: circuits.Series4000, Cols: 3, Rows: 3}}
+	ckt.Nets = []circuits.Net{
+		{ID: 0, Pins: []fpga.Pin{
+			{X: 0, Y: 0, Side: fpga.North, Index: 0},
+			{X: 2, Y: 2, Side: fpga.South, Index: 0},
+		}},
+		{ID: 1, Pins: []fpga.Pin{
+			{X: 0, Y: 0, Side: fpga.East, Index: 1}, // same block as net 0's source
+			{X: 1, Y: 1, Side: fpga.West, Index: 0},
+		}},
+	}
+	placed, _ := Anneal(ckt, 3, Options{Moves: 2000})
+	p1 := placed.Nets[0].Pins[0]
+	p2 := placed.Nets[1].Pins[0]
+	if p1.X != p2.X || p1.Y != p2.Y {
+		t.Fatalf("pins of one block scattered: %v vs %v", p1, p2)
+	}
+}

@@ -1,0 +1,143 @@
+// Package render draws routed FPGA solutions, reproducing Figure 16's
+// routing plot for the busc circuit: an SVG with logic blocks, channel
+// wires colored per net, and an ASCII channel-utilization map for
+// terminals.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgarouter/internal/fpga"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/router"
+)
+
+// UtilizationASCII renders a channel-utilization heat map of the committed
+// routing: one cell per switch block, with the utilization of the channel
+// spans to its right (horizontal) and below (vertical) shown as digits
+// (0-9, then letters).
+func UtilizationASCII(fab *fpga.Fabric) string {
+	util := fab.SpanUtilization()
+	digit := func(u int32) byte {
+		switch {
+		case u < 10:
+			return byte('0' + u)
+		case u < 36:
+			return byte('a' + u - 10)
+		default:
+			return '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel utilization (W = %d): '.' = block, digits = wires used per span\n", fab.W)
+	for j := 0; j <= fab.Rows; j++ {
+		// Switch block row: horizontal spans.
+		for i := 0; i <= fab.Cols; i++ {
+			b.WriteByte('+')
+			if i < fab.Cols {
+				b.WriteByte(digit(util[fab.HSpanIndex(i, j)]))
+			}
+		}
+		b.WriteByte('\n')
+		if j == fab.Rows {
+			break
+		}
+		// Block row: vertical spans interleaved with blocks.
+		for i := 0; i <= fab.Cols; i++ {
+			b.WriteByte(digit(util[fab.VSpanIndex(i, j)]))
+			if i < fab.Cols {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// netColor returns a stable, well-spread color for net index i.
+func netColor(i int) string {
+	hue := (i * 47) % 360
+	return fmt.Sprintf("hsl(%d,70%%,45%%)", hue)
+}
+
+// SVG renders the routed circuit as an SVG document: gray logic blocks,
+// light channel grid, and per-net colored routes (Figure 16 style).
+func SVG(fab *fpga.Fabric, res *router.Result) string {
+	const cell = 26.0 // pixels between adjacent switch blocks
+	const blockPad = 5.0
+	width := float64(fab.Cols)*cell + 2*cell
+	height := float64(fab.Rows)*cell + 2*cell
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	// Logic blocks.
+	for y := 0; y < fab.Rows; y++ {
+		for x := 0; x < fab.Cols; x++ {
+			bx := cell + float64(x)*cell + blockPad
+			by := cell + float64(y)*cell + blockPad
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#d8d8d8" stroke="#999" stroke-width="0.5"/>`+"\n",
+				bx, by, cell-2*blockPad, cell-2*blockPad)
+		}
+	}
+	// Routed nets: draw each tree edge as a line between its endpoints'
+	// plot coordinates.
+	for i, nr := range res.Nets {
+		color := netColor(i)
+		for _, id := range nr.Tree.Edges {
+			e := fab.Graph().Edge(id)
+			x1, y1, ok1 := plotCoord(fab, e.U, cell)
+			x2, y2, ok2 := plotCoord(fab, e.V, cell)
+			if !ok1 || !ok2 {
+				continue
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.1"/>`+"\n",
+				x1, y1, x2, y2, color)
+		}
+		// Mark the source pin.
+		if len(nr.Tree.Edges) > 0 {
+			// Tree edges are over the fabric graph; the source pin node is
+			// known from the circuit, but Result stores only trees, so we
+			// mark tree endpoints that are pins instead.
+			for _, id := range nr.Tree.Edges {
+				e := fab.Graph().Edge(id)
+				for _, v := range []graph.NodeID{e.U, e.V} {
+					if _, isPin := fab.PinOf(v); isPin {
+						x, y, _ := plotCoord(fab, v, cell)
+						fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`+"\n", x, y, color)
+					}
+				}
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// plotCoord maps a routing-graph node to plot coordinates: switch-block
+// nodes spread their tracks slightly around the block corner; pins sit on
+// their block's side.
+func plotCoord(fab *fpga.Fabric, v graph.NodeID, cell float64) (float64, float64, bool) {
+	if i, j, t, ok := fab.SBCoords(v); ok {
+		off := (float64(t) - float64(fab.W-1)/2) * (cell * 0.55 / float64(fab.W))
+		return cell/2 + float64(i)*cell + off, cell/2 + float64(j)*cell + off, true
+	}
+	if p, ok := fab.PinOf(v); ok {
+		bx := cell + float64(p.X)*cell
+		by := cell + float64(p.Y)*cell
+		frac := (float64(p.Index) + 1) / (float64(fab.PinsPerSide) + 1)
+		size := cell - 10
+		switch p.Side {
+		case fpga.North:
+			return bx + frac*size, by - 3, true
+		case fpga.South:
+			return bx + frac*size, by + size + 3, true
+		case fpga.West:
+			return bx - 3, by + frac*size, true
+		case fpga.East:
+			return bx + size + 3, by + frac*size, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,48 @@
+package router
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"fpgarouter/internal/circuits"
+)
+
+// TestManualRoute routes a single named circuit at a given width; it only
+// runs when ROUTE_CIRCUIT is set, e.g.
+//
+//	ROUTE_CIRCUIT=z03 ROUTE_WIDTH=12 ROUTE_PASSES=10 ROUTE_ALG=ikmb \
+//	  go test ./internal/router -run TestManualRoute -v
+func TestManualRoute(t *testing.T) {
+	name := os.Getenv("ROUTE_CIRCUIT")
+	if name == "" {
+		t.Skip("set ROUTE_CIRCUIT to run")
+	}
+	envInt := func(key string, def int) int {
+		s := os.Getenv(key)
+		if s == "" {
+			return def
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", key, s, err)
+		}
+		return v
+	}
+	width := envInt("ROUTE_WIDTH", 10)
+	passes := envInt("ROUTE_PASSES", 20)
+	alg := os.Getenv("ROUTE_ALG")
+	spec, ok := circuits.SpecByName(name)
+	if !ok {
+		t.Fatalf("unknown circuit %q", name)
+	}
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Route(ckt, width, Options{MaxPasses: passes, Algorithm: alg})
+	t.Logf("%s W=%d alg=%q: err=%v passes=%d failed=%d wl=%.0f elapsed=%v",
+		name, width, alg, err, res.Passes, len(res.FailedNets), res.Wirelength, time.Since(start))
+}

@@ -1,0 +1,442 @@
+// Package router implements the paper's FPGA detailed router (Section 5):
+// nets are routed one at a time directly on the fabric's routing graph with
+// a chosen tree construction (IKMB for non-critical nets, PFA or IDOM for
+// critical ones); after each net the used wires are removed from the graph
+// (electrical disjointness) and congestion weights are refreshed; when a
+// pass fails to route every net, the failed nets move to the front of the
+// ordering and the whole circuit is ripped up and re-routed, up to a
+// feasibility threshold of passes (20 in the paper). The smallest channel
+// width at which a circuit completes is the router's quality metric
+// (Tables 2–4).
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/fpga"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// Algorithm names accepted by Options.Algorithm.
+const (
+	AlgKMB  = "kmb"  // Kou–Markowsky–Berman Steiner trees
+	AlgZEL  = "zel"  // Zelikovsky Steiner trees (bbox-restricted triples)
+	AlgSPH  = "sph"  // Takahashi–Matsuyama shortest-paths heuristic
+	AlgIKMB = "ikmb" // iterated KMB (the paper's router default)
+	AlgIZEL = "izel" // iterated ZEL
+	AlgISPH = "isph" // iterated SPH
+	AlgDJKA = "djka" // pruned Dijkstra shortest-paths trees
+	AlgDOM  = "dom"  // dominance spanning arborescences
+	AlgPFA  = "pfa"  // path-folding arborescences
+	AlgIDOM = "idom" // iterated dominance arborescences
+)
+
+// ErrUnroutable reports that the circuit could not be completely routed at
+// the requested channel width within the pass limit.
+var ErrUnroutable = errors.New("router: circuit unroutable at this channel width")
+
+// Options configures a routing run. The zero value is completed by
+// defaults: IKMB, 20 passes, bounding-box margin 2, congestion α = 1.
+type Options struct {
+	// Algorithm selects the per-net tree construction (Alg* constants).
+	Algorithm string
+	// MaxPasses is the feasibility threshold: how many rip-up/re-route
+	// passes to attempt before declaring the width unroutable (paper: 20).
+	MaxPasses int
+	// BBoxMargin widens the Steiner-candidate bounding box around each
+	// net's pins, in switch-block units.
+	BBoxMargin int
+	// CongestionAlpha scales fabric congestion weighting.
+	CongestionAlpha float64
+	// NoMoveToFront disables the move-to-front reordering of failed nets
+	// (for the ordering ablation benchmark).
+	NoMoveToFront bool
+	// Batched selects batched Steiner-point admission inside the iterated
+	// constructions (on by default in the router for speed; set
+	// SingleStep to force one-candidate-per-round).
+	SingleStep bool
+	// SegLens overrides the architecture's per-track wire segment lengths
+	// (nil keeps the circuit's default, single-length channels). See
+	// fpga.Arch.SegLens.
+	SegLens []int
+	// CriticalNets lists net IDs classified as timing-critical by the
+	// upstream design stages (Section 2: "nets may be classified as either
+	// critical or non-critical based on timing information"). Critical
+	// nets are routed first, each with CriticalAlgorithm, so their
+	// source-sink paths are shortest on the freshest possible fabric; the
+	// rest use Algorithm.
+	CriticalNets []int
+	// CriticalAlgorithm routes the critical nets (default AlgIDOM).
+	CriticalAlgorithm string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = AlgIKMB
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 20
+	}
+	if o.BBoxMargin == 0 {
+		o.BBoxMargin = 2
+	}
+	if o.CongestionAlpha == 0 {
+		o.CongestionAlpha = 1.0
+	}
+	if o.CriticalAlgorithm == "" {
+		o.CriticalAlgorithm = AlgIDOM
+	}
+	return o
+}
+
+// criticalSet returns membership of net IDs in opts.CriticalNets.
+func (o Options) criticalSet() map[int]bool {
+	if len(o.CriticalNets) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(o.CriticalNets))
+	for _, id := range o.CriticalNets {
+		m[id] = true
+	}
+	return m
+}
+
+// NetResult records the routed tree and metrics for one net.
+type NetResult struct {
+	Tree       graph.Tree
+	Wirelength float64 // base (uncongested) wirelength
+	MaxPath    float64 // max source-sink pathlength, base wirelength
+}
+
+// Result is the outcome of routing one circuit at one channel width.
+type Result struct {
+	Routed     bool
+	Width      int
+	Passes     int     // passes consumed (including the successful one)
+	Wirelength float64 // total base wirelength over all nets
+	MaxPathSum float64 // sum over nets of max source-sink pathlength
+	MaxUtil    int     // maximum wires claimed in any channel span
+	Nets       []NetResult
+	FailedNets []int // net IDs that failed in the last attempted pass
+}
+
+// Route attempts to route every net of the circuit at channel width w.
+// On success the result carries per-net trees and metrics; on failure it
+// returns ErrUnroutable along with the last pass's failure set.
+func Route(ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
+	res, _, err := RouteWithFabric(ckt, w, opts)
+	return res, err
+}
+
+// RouteWithFabric is Route but also returns the fabric in its final state
+// (with the successful pass's nets committed), for rendering and
+// utilization analysis.
+func RouteWithFabric(ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga.Fabric, error) {
+	opts = opts.withDefaults()
+	arch := ckt.ArchAt(w)
+	if opts.SegLens != nil {
+		arch.SegLens = opts.SegLens
+	}
+	fab, err := fpga.NewFabric(arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	fab.CongestionAlpha = opts.CongestionAlpha
+	res, err := routeOnFabric(fab, ckt, opts)
+	return res, fab, err
+}
+
+func routeOnFabric(fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Result, error) {
+	crit := opts.criticalSet()
+	order := initialOrder(ckt)
+	if crit != nil {
+		// Critical nets route first (they need the freshest fabric), in
+		// their existing relative order.
+		var front, rest []int
+		for _, idx := range order {
+			if crit[ckt.Nets[idx].ID] {
+				front = append(front, idx)
+			} else {
+				rest = append(rest, idx)
+			}
+		}
+		order = append(front, rest...)
+	}
+	netOpts := func(idx int) Options {
+		if crit != nil && crit[ckt.Nets[idx].ID] {
+			o := opts
+			o.Algorithm = opts.CriticalAlgorithm
+			return o
+		}
+		return opts
+	}
+	res := &Result{Width: fab.W, Nets: make([]NetResult, len(ckt.Nets))}
+	for pass := 1; pass <= opts.MaxPasses; pass++ {
+		res.Passes = pass
+		fab.Reset()
+		// Register pin demand for every net so traversal routes avoid
+		// walling off pins of nets still waiting to be routed.
+		for i := range ckt.Nets {
+			for _, p := range ckt.Nets[i].Pins {
+				fab.AddPinDemand(p, +1)
+			}
+		}
+		var failed []int
+		ok := true
+		for _, idx := range order {
+			// This net is being routed now: release its reservations so
+			// they do not repel its own route.
+			for _, p := range ckt.Nets[idx].Pins {
+				fab.AddPinDemand(p, -1)
+			}
+			tree, err := routeNet(fab, ckt.Nets[idx], netOpts(idx))
+			if err != nil {
+				ok = false
+				failed = append(failed, idx)
+				continue
+			}
+			fab.CommitNet(tree)
+			src := fab.PinNode(ckt.Nets[idx].Pins[0])
+			sinks := pinNodes(fab, ckt.Nets[idx].Pins[1:])
+			res.Nets[idx] = NetResult{
+				Tree:       tree,
+				Wirelength: fab.BaseWirelength(tree),
+				MaxPath:    fab.MaxPathlength(tree, src, sinks),
+			}
+		}
+		if ok {
+			res.Routed = true
+			res.MaxUtil = fab.MaxSpanUtilization()
+			for _, nr := range res.Nets {
+				res.Wirelength += nr.Wirelength
+				res.MaxPathSum += nr.MaxPath
+			}
+			return res, nil
+		}
+		res.FailedNets = failed
+		if !opts.NoMoveToFront {
+			order = moveToFront(order, failed)
+		}
+	}
+	return res, fmt.Errorf("%w (width %d, %d failed nets after %d passes)",
+		ErrUnroutable, fab.W, len(res.FailedNets), opts.MaxPasses)
+}
+
+// maxPool caps the Steiner-candidate pool per net; larger pools are
+// deterministically stride-subsampled (quality changes marginally, runtime
+// linearly).
+const maxPool = 1024
+
+// routeNet routes a single net on the current fabric state. BeginNet
+// restricts connection-block taps to the net's own pins, so routes cannot
+// pass through unrelated logic-block pins. Shortest-path caches terminate
+// early once the net's pins and candidate pool are settled (distances stay
+// exact; see graph.DijkstraWithin).
+func routeNet(fab *fpga.Fabric, net circuits.Net, opts Options) (graph.Tree, error) {
+	fab.BeginNet(net.Pins)
+	terms := pinNodes(fab, net.Pins)
+	switch opts.Algorithm {
+	case AlgKMB:
+		return steiner.KMB(termCache(fab, terms), terms)
+	case AlgDJKA:
+		return arbor.DJKA(termCache(fab, terms), terms)
+	case AlgDOM:
+		return arbor.DOM(termCache(fab, terms), terms)
+	case AlgSPH:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return steiner.SPH(poolCache(fab, terms, pool), terms)
+	case AlgZEL:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return steiner.ZELRestricted(poolCache(fab, terms, pool), terms, pool)
+	case AlgPFA:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return arbor.PFA(poolCache(fab, terms, pool), terms)
+	case AlgIKMB:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return core.IGMST(poolCache(fab, terms, pool), terms, steiner.KMB, core.Options{
+			Candidates: pool,
+			Batched:    !opts.SingleStep,
+		})
+	case AlgISPH:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return core.IGMST(poolCache(fab, terms, pool), terms, steiner.SPH, core.Options{
+			Candidates: pool,
+			Batched:    !opts.SingleStep,
+		})
+	case AlgIZEL:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		zel := func(c *graph.SPTCache, n []graph.NodeID) (graph.Tree, error) {
+			return steiner.ZELRestricted(c, n, pool)
+		}
+		return core.IGMST(poolCache(fab, terms, pool), terms, zel, core.Options{
+			Candidates: pool,
+			Batched:    !opts.SingleStep,
+		})
+	case AlgIDOM:
+		pool := candidatePool(fab, net, opts.BBoxMargin)
+		return core.IDOMOpts(poolCache(fab, terms, pool), terms, core.Options{
+			Candidates: pool,
+			Batched:    !opts.SingleStep,
+		})
+	default:
+		return graph.Tree{}, fmt.Errorf("router: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// termCache returns a per-net cache that settles only the net's terminals.
+func termCache(fab *fpga.Fabric, terms []graph.NodeID) *graph.SPTCache {
+	return graph.NewSPTCacheWithin(fab.Graph(), terms)
+}
+
+// poolCache returns a per-net cache that settles the terminals plus the
+// Steiner-candidate pool.
+func poolCache(fab *fpga.Fabric, terms []graph.NodeID, pool []graph.NodeID) *graph.SPTCache {
+	stop := make([]graph.NodeID, 0, len(terms)+len(pool))
+	stop = append(stop, terms...)
+	stop = append(stop, pool...)
+	return graph.NewSPTCacheWithin(fab.Graph(), stop)
+}
+
+// candidatePool returns the Steiner-candidate switch-block nodes inside the
+// net's pin bounding box plus a margin, subsampled to at most maxPool.
+func candidatePool(fab *fpga.Fabric, net circuits.Net, margin int) []graph.NodeID {
+	minX, minY := fab.Cols, fab.Rows
+	maxX, maxY := 0, 0
+	for _, p := range net.Pins {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X+1 > maxX {
+			maxX = p.X + 1
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y+1 > maxY {
+			maxY = p.Y + 1
+		}
+	}
+	pool := fab.SBCandidates(minX-margin, maxX+margin, minY-margin, maxY+margin)
+	if len(pool) > maxPool {
+		stride := (len(pool) + maxPool - 1) / maxPool
+		sub := make([]graph.NodeID, 0, maxPool)
+		for i := 0; i < len(pool); i += stride {
+			sub = append(sub, pool[i])
+		}
+		pool = sub
+	}
+	return pool
+}
+
+func pinNodes(fab *fpga.Fabric, pins []fpga.Pin) []graph.NodeID {
+	out := make([]graph.NodeID, len(pins))
+	for i, p := range pins {
+		out[i] = fab.PinNode(p)
+	}
+	return out
+}
+
+// initialOrder routes high-fanout nets first (they need the most shared
+// resources), breaking ties by larger bounding box then net index, all
+// deterministically.
+func initialOrder(ckt *circuits.Circuit) []int {
+	order := make([]int, len(ckt.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	bbox := make([]int, len(ckt.Nets))
+	for i, n := range ckt.Nets {
+		minX, minY := 1<<30, 1<<30
+		maxX, maxY := 0, 0
+		for _, p := range n.Pins {
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		bbox[i] = (maxX - minX + 1) * (maxY - minY + 1)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := ckt.Nets[order[a]], ckt.Nets[order[b]]
+		if len(na.Pins) != len(nb.Pins) {
+			return len(na.Pins) > len(nb.Pins)
+		}
+		if bbox[order[a]] != bbox[order[b]] {
+			return bbox[order[a]] > bbox[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// moveToFront hoists the failed net indices to the front of the order,
+// preserving relative order within both groups (the paper's move-to-front
+// reordering heuristic).
+func moveToFront(order []int, failed []int) []int {
+	inFailed := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		inFailed[f] = true
+	}
+	out := make([]int, 0, len(order))
+	out = append(out, failed...)
+	for _, idx := range order {
+		if !inFailed[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// MinWidth finds the smallest channel width at which the circuit routes
+// completely: it grows the width from start until the first success, then
+// walks downward while success persists. It returns the minimum width and
+// the routing result at that width.
+func MinWidth(ckt *circuits.Circuit, start int, opts Options) (int, *Result, error) {
+	if start < 1 {
+		start = 4
+	}
+	w := start
+	var lastGood *Result
+	// Grow until routable.
+	for {
+		res, err := Route(ckt, w, opts)
+		if err == nil {
+			lastGood = res
+			break
+		}
+		if !errors.Is(err, ErrUnroutable) {
+			return 0, nil, err
+		}
+		w++
+		if w > 4*start+64 {
+			return 0, nil, fmt.Errorf("router: %s unroutable up to width %d", ckt.Name, w)
+		}
+	}
+	// Shrink while routable.
+	for w > 1 {
+		res, err := Route(ckt, w-1, opts)
+		if err != nil {
+			if errors.Is(err, ErrUnroutable) {
+				break
+			}
+			return 0, nil, err
+		}
+		w--
+		lastGood = res
+	}
+	return w, lastGood, nil
+}

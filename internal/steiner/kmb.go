@@ -1,0 +1,85 @@
+package steiner
+
+import "fpgarouter/internal/graph"
+
+// KMB is the graph Steiner tree heuristic of Kou, Markowsky and Berman
+// (Acta Informatica 1981), as described in the paper's Appendix 8.1:
+//
+//  1. build the complete distance graph G' over the net,
+//  2. compute MST(G') and expand each MST edge into its shortest path in G,
+//     yielding subgraph G”,
+//  3. compute MST(G”) and delete pendant edges until all leaves are pins.
+//
+// Performance ratio: 2·(1−1/L) where L is the maximum number of leaves in
+// any optimal solution.
+func KMB(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
+	if err := CheckNet(cache, net); err != nil {
+		return graph.Tree{}, err
+	}
+	if len(net) == 1 {
+		return graph.Tree{Edges: []graph.EdgeID{}}, nil
+	}
+	// Step 1+2: MST of the (implicit) complete distance graph over the
+	// net, computed matrix-free over cached shortest-path distances —
+	// this function is evaluated once per Steiner candidate inside IKMB,
+	// so it avoids materializing a graph object per call.
+	pairs, err := distanceMSTPairs(cache, net)
+	if err != nil {
+		return graph.Tree{}, err
+	}
+	seen := make(map[graph.EdgeID]bool)
+	var pathEdges []graph.EdgeID
+	for _, pr := range pairs {
+		for _, ge := range cache.Path(net[pr[0]], net[pr[1]]) {
+			if !seen[ge] {
+				seen[ge] = true
+				pathEdges = append(pathEdges, ge)
+			}
+		}
+	}
+	// Step 3: MST over the expanded subgraph, then prune pendant
+	// non-terminals.
+	mst2 := localMST(cache.Graph(), pathEdges)
+	return graph.PruneTree(cache.Graph(), mst2, net), nil
+}
+
+// distanceMSTPairs runs Prim over the implicit complete distance graph on
+// net and returns the chosen (i, j) index pairs. Ties break toward the
+// earlier-reached node, deterministically.
+func distanceMSTPairs(cache *graph.SPTCache, net []graph.NodeID) ([][2]int32, error) {
+	k := len(net)
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	bestFrom := make([]int32, k)
+	for i := range best {
+		best[i] = graph.Inf
+		bestFrom[i] = -1
+	}
+	best[0] = 0
+	pairs := make([][2]int32, 0, k-1)
+	for iter := 0; iter < k; iter++ {
+		u := -1
+		for v := 0; v < k; v++ {
+			if !inTree[v] && (u < 0 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		if best[u] == graph.Inf {
+			return nil, ErrNoRoute
+		}
+		inTree[u] = true
+		if bestFrom[u] >= 0 {
+			pairs = append(pairs, [2]int32{bestFrom[u], int32(u)})
+		}
+		for v := 0; v < k; v++ {
+			if inTree[v] {
+				continue
+			}
+			if d := cache.Dist(net[u], net[v]); d < best[v] {
+				best[v] = d
+				bestFrom[v] = int32(u)
+			}
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,107 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgarouter/internal/graph"
+)
+
+func TestSPHStar(t *testing.T) {
+	g := star(4)
+	c := cacheFor(g)
+	net := []graph.NodeID{1, 2, 3, 4}
+	tr, err := SPH(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateTree(g, tr, net); err != nil {
+		t.Fatal(err)
+	}
+	// SPH splices paths through the hub: once the first terminal connects
+	// through the center, the rest attach at cost 1 each → optimal 4.
+	if tr.Cost != 4 {
+		t.Fatalf("SPH star cost = %v, want 4", tr.Cost)
+	}
+}
+
+func TestSPHTwoPinsIsShortestPath(t *testing.T) {
+	g := graph.NewGrid(5, 5, 1)
+	c := cacheFor(g.Graph)
+	tr, err := SPH(c, []graph.NodeID{g.Node(0, 0), g.Node(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost != 8 {
+		t.Fatalf("cost = %v, want 8", tr.Cost)
+	}
+}
+
+func TestSPHSinglePinAndNoRoute(t *testing.T) {
+	g := star(2)
+	if tr, err := SPH(cacheFor(g), []graph.NodeID{1}); err != nil || len(tr.Edges) != 0 {
+		t.Fatalf("single pin: %v %v", tr, err)
+	}
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1, 1)
+	if _, err := SPH(cacheFor(g2), []graph.NodeID{0, 2}); err != ErrNoRoute {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSPHMidPathAttachment(t *testing.T) {
+	// A comb: spine 0-1-2-3-4 (unit edges), teeth hanging off nodes 1-3.
+	// Connecting the far tooth first pulls the spine into the tree, so the
+	// nearer teeth attach at cost 1 each — SPH's Steiner points.
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	teeth := []graph.NodeID{5, 6, 7}
+	for i, tooth := range teeth {
+		g.AddEdge(graph.NodeID(i+1), tooth, 1)
+	}
+	c := cacheFor(g)
+	net := append([]graph.NodeID{0, 4}, teeth...)
+	tr, err := SPH(c, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateTree(g, tr, net); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost != 7 { // spine 4 + three teeth
+		t.Fatalf("comb cost = %v, want 7", tr.Cost)
+	}
+}
+
+// Property: SPH returns valid trees within 2× optimal on random instances.
+func TestQuickSPHBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(14)
+		g := graph.RandomConnected(rng, n, n*2, 6)
+		k := 2 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		net := graph.RandomNet(rng, g, k)
+		c := cacheFor(g)
+		tr, err := SPH(c, net)
+		if err != nil {
+			return false
+		}
+		if graph.ValidateTree(g, tr, net) != nil {
+			return false
+		}
+		opt, err := ExactCost(c, net)
+		if err != nil {
+			return false
+		}
+		return tr.Cost >= opt-1e-9 && tr.Cost <= 2*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package steiner implements the classical graph Steiner tree heuristics the
+// paper builds on and compares against: the KMB heuristic of Kou, Markowsky
+// and Berman (performance ratio 2·(1−1/L)) and the ZEL heuristic of
+// Zelikovsky (ratio 11/6), plus an exact Dreyfus–Wagner solver used as a
+// test oracle and for optimality normalization on small instances.
+//
+// All heuristics share the signature expected by the IGMST template in
+// package core: they take a shortest-paths cache over a frozen graph state
+// and a net (first node = source, rest = sinks), and return a Tree over the
+// original graph's edge IDs.
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fpgarouter/internal/graph"
+)
+
+// ErrNoRoute is returned when a net's pins are not all mutually reachable
+// through enabled edges.
+var ErrNoRoute = errors.New("steiner: net pins not connected")
+
+// Heuristic is a graph Steiner tree construction: it returns a tree over
+// cache.Graph() spanning net. The IGMST template accepts any Heuristic.
+type Heuristic func(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error)
+
+// CheckNet validates a net: at least one pin, no duplicates, all pins
+// mutually reachable in the cache's graph. Returns ErrNoRoute or a
+// descriptive error.
+func CheckNet(cache *graph.SPTCache, net []graph.NodeID) error {
+	if len(net) == 0 {
+		return errors.New("steiner: empty net")
+	}
+	seen := make(map[graph.NodeID]bool, len(net))
+	for _, v := range net {
+		if v < 0 || int(v) >= cache.Graph().NumNodes() {
+			return fmt.Errorf("steiner: pin %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("steiner: duplicate pin %d", v)
+		}
+		seen[v] = true
+	}
+	t := cache.Tree(net[0])
+	for _, v := range net[1:] {
+		if !t.Reachable(v) {
+			return ErrNoRoute
+		}
+	}
+	return nil
+}
+
+// DistanceGraph is the complete graph G' over a node subset whose edge
+// weights are shortest-path distances in the underlying graph (the first
+// step of both KMB and ZEL, and of the DOM arborescence construction).
+//
+// Index i of Terms corresponds to node i of the complete graph G.
+type DistanceGraph struct {
+	Terms []graph.NodeID
+	G     *graph.Graph
+	// pos maps an original node ID to its index in Terms.
+	pos map[graph.NodeID]int
+}
+
+// NewDistanceGraph builds the distance graph over terms using cached
+// shortest-path trees. Returns ErrNoRoute if any pair is disconnected.
+func NewDistanceGraph(cache *graph.SPTCache, terms []graph.NodeID) (*DistanceGraph, error) {
+	k := len(terms)
+	dg := &DistanceGraph{
+		Terms: append([]graph.NodeID(nil), terms...),
+		G:     graph.New(k),
+		pos:   make(map[graph.NodeID]int, k),
+	}
+	for i, v := range terms {
+		dg.pos[v] = i
+	}
+	// Distances go through the cache's symmetric lookup so that evaluating
+	// a candidate Steiner node never forces a Dijkstra rooted at the
+	// candidate: the distance to every established terminal is read off
+	// that terminal's (already cached) tree.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := cache.Dist(terms[i], terms[j])
+			if d == graph.Inf {
+				return nil, ErrNoRoute
+			}
+			dg.G.AddEdge(graph.NodeID(i), graph.NodeID(j), d)
+		}
+	}
+	return dg, nil
+}
+
+// Index returns the distance-graph index of original node v (which must be
+// one of Terms).
+func (dg *DistanceGraph) Index(v graph.NodeID) int { return dg.pos[v] }
+
+// ExpandEdges translates a set of distance-graph edges into the underlying
+// graph's edge IDs by expanding each into its shortest path (deduplicated).
+func (dg *DistanceGraph) ExpandEdges(cache *graph.SPTCache, ids []graph.EdgeID) []graph.EdgeID {
+	seen := make(map[graph.EdgeID]bool)
+	var out []graph.EdgeID
+	for _, id := range ids {
+		e := dg.G.Edge(id)
+		u := dg.Terms[e.U]
+		v := dg.Terms[e.V]
+		for _, ge := range cache.Path(u, v) {
+			if !seen[ge] {
+				seen[ge] = true
+				out = append(out, ge)
+			}
+		}
+	}
+	return out
+}
+
+// localMST computes an MST of the subgraph induced by the given edges of g
+// (deduplicated) using Kruskal over a compact node remapping, so its cost
+// is proportional to the edge set, not to |V(g)|. The edge set is assumed
+// to induce a connected subgraph (true for unions of shortest paths that
+// expand a connected tree). Tie-breaking is by edge ID, deterministic.
+//
+// This is the hot path of every candidate-Steiner-node evaluation in the
+// iterated constructions, which is why it avoids allocating |V|-sized
+// scratch state (see DESIGN.md §5).
+func localMST(g *graph.Graph, edges []graph.EdgeID) []graph.EdgeID {
+	uniq := make([]graph.EdgeID, 0, len(edges))
+	seen := make(map[graph.EdgeID]bool, len(edges))
+	remap := make(map[graph.NodeID]int32, len(edges)+1)
+	idOf := func(v graph.NodeID) int32 {
+		if id, ok := remap[v]; ok {
+			return id
+		}
+		id := int32(len(remap))
+		remap[v] = id
+		return id
+	}
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+			ge := g.Edge(e)
+			idOf(ge.U)
+			idOf(ge.V)
+		}
+	}
+	sort.Slice(uniq, func(a, b int) bool {
+		wa, wb := g.Weight(uniq[a]), g.Weight(uniq[b])
+		if wa != wb {
+			return wa < wb
+		}
+		return uniq[a] < uniq[b]
+	})
+	uf := graph.NewUnionFind(len(remap))
+	mst := make([]graph.EdgeID, 0, len(remap))
+	for _, e := range uniq {
+		ge := g.Edge(e)
+		if uf.Union(remap[ge.U], remap[ge.V]) {
+			mst = append(mst, e)
+		}
+	}
+	return mst
+}
+
+// sortedCopy returns a sorted copy of nodes (determinism helper).
+func sortedCopy(nodes []graph.NodeID) []graph.NodeID {
+	c := append([]graph.NodeID(nil), nodes...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
