@@ -1,0 +1,37 @@
+# Development targets for the fpgarouter repository.
+
+GO ?= go
+
+.PHONY: all build test check bench bench-json tables clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: what must stay green on every commit.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Full check: build, vet, and the test suite under the race detector
+# (the parallel minimum-width search makes -race load-bearing).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Router micro-benchmarks (human-readable).
+bench:
+	$(GO) test -bench 'IKMB_|MinWidth' -benchmem -run '^$$' .
+
+# Machine-readable benchmark results for cross-commit comparison.
+bench-json:
+	$(GO) run ./cmd/tables -bench-json BENCH_router.json
+
+# Regenerate the paper's tables and figures (slow).
+tables:
+	$(GO) run ./cmd/tables -all
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_router.json

@@ -308,6 +308,62 @@ func BenchmarkIKMBSSSPCache(b *testing.B) {
 	}
 }
 
+// BenchmarkIKMB_Pooled runs the iterated KMB construction through one
+// reused Dijkstra scratch, releasing the per-net cache each iteration so
+// SPT buffers recycle — the router's steady-state allocation profile.
+func BenchmarkIKMB_Pooled(b *testing.B) {
+	g, net := cpuInstance(1)
+	s := graph.NewDijkstraScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := graph.NewSPTCache(g).WithScratch(s)
+		if _, err := core.IKMB(cache, net); err != nil {
+			b.Fatal(err)
+		}
+		cache.Release()
+	}
+}
+
+// BenchmarkIKMB_Unpooled is the pre-refactor baseline: every iteration
+// allocates a private scratch and abandons its SPTs to the collector.
+func BenchmarkIKMB_Unpooled(b *testing.B) {
+	g, net := cpuInstance(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := graph.NewSPTCache(g)
+		if _, err := core.IKMB(cache, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinWidthParallel measures the concurrent minimum-width search on
+// the smallest Table 2 circuit; BenchmarkMinWidthSeq is the sequential
+// reference it is guaranteed to agree with.
+func BenchmarkMinWidthParallel(b *testing.B) {
+	ckt := synthBench(b, "busc")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := router.MinWidth(ckt, 7, router.Options{MaxPasses: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinWidthSeq(b *testing.B) {
+	ckt := synthBench(b, "busc")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := router.MinWidthSeq(nil, ckt, 7, router.Options{MaxPasses: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRouterOrdering compares move-to-front reordering against static
 // ordering at a width tight enough to require retries.
 func BenchmarkRouterOrdering(b *testing.B) {

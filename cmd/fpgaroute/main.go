@@ -21,6 +21,7 @@ import (
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/render"
 	"fpgarouter/internal/router"
+	"fpgarouter/internal/stats"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		svgOut   = flag.String("svg", "", "write an SVG plot of the routed solution")
 		ascii    = flag.Bool("ascii", false, "print an ASCII channel-utilization map")
 		list     = flag.Bool("list", false, "list available benchmark circuits")
+		useStats = flag.Bool("stats", false, "print router work counters (SSSP runs, rip-ups, congestion histogram)")
 	)
 	flag.Parse()
 
@@ -95,15 +97,28 @@ func main() {
 		}
 	}
 
+	var col *stats.Collector
+	if *useStats {
+		col = stats.New()
+	}
+	ctx := router.NewContext(col)
+	defer ctx.Close()
+	printStats := func() {
+		if col != nil {
+			fmt.Print(col.Snapshot())
+		}
+	}
+
 	start := time.Now()
 	if *minW {
-		w, res, err := router.MinWidth(ckt, spec.PaperIKMB, opts)
+		w, res, err := router.MinWidthCtx(ctx, ckt, spec.PaperIKMB, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("%s: minimum channel width %d (%d passes at that width, %.0f wirelength, %v)\n",
 			spec.Name, w, res.Passes, res.Wirelength, time.Since(start).Round(time.Millisecond))
+		printStats()
 		return
 	}
 
@@ -111,13 +126,14 @@ func main() {
 	if w == 0 {
 		w = spec.PaperIKMB
 	}
-	res, fab, err := router.RouteWithFabric(ckt, w, opts)
+	res, fab, err := router.RouteWithFabricCtx(ctx, ckt, w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "routing failed: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s routed at width %d: %d pass(es), wirelength %.1f, max span utilization %d/%d, %v\n",
 		spec.Name, w, res.Passes, res.Wirelength, res.MaxUtil, w, time.Since(start).Round(time.Millisecond))
+	printStats()
 	if *ascii {
 		fmt.Print(render.UtilizationASCII(fab))
 	}

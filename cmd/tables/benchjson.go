@@ -1,0 +1,123 @@
+// Benchmark JSON emission: `tables -bench-json FILE` runs the router
+// micro-benchmarks that track this repository's performance work — pooled
+// vs unpooled iterated KMB, and the parallel vs sequential minimum-width
+// search — via testing.Benchmark and writes machine-readable results.
+// CI and the experiments harness diff these files across commits.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/core"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/router"
+)
+
+// BenchResult is one benchmark's outcome in the emitted JSON file.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchFile is the emitted document: results plus enough provenance to
+// compare runs.
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Results     []BenchResult `json:"results"`
+}
+
+// benchInstance mirrors the root benchmarks' CPU-time instance shape
+// (|V| = 50, |E| = 1000, |N| = 5, the paper's Section 5 timing setup).
+func benchInstance(seed int64) (*graph.Graph, []graph.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(rng, 50, 1000, 10)
+	return g, graph.RandomNet(rng, g, 5)
+}
+
+func writeBenchJSON(path string) error {
+	g, net := benchInstance(1)
+	spec, ok := circuits.SpecByName("busc")
+	if !ok {
+		return fmt.Errorf("bench-json: circuit busc not registered")
+	}
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		return err
+	}
+	mwOpts := router.Options{MaxPasses: 6}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkIKMB_Pooled", func(b *testing.B) {
+			s := graph.NewDijkstraScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cache := graph.NewSPTCache(g).WithScratch(s)
+				if _, err := core.IKMB(cache, net); err != nil {
+					b.Fatal(err)
+				}
+				cache.Release()
+			}
+		}},
+		{"BenchmarkIKMB_Unpooled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IKMB(graph.NewSPTCache(g), net); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkMinWidthParallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := router.MinWidth(ckt, 7, mwOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkMinWidthSeq", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := router.MinWidthSeq(nil, ckt, 7, mwOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	out := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "bench-json: running %s\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		out.Results = append(out.Results, BenchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

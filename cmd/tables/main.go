@@ -22,6 +22,7 @@ import (
 
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/experiments"
+	"fpgarouter/internal/stats"
 )
 
 func main() {
@@ -36,9 +37,20 @@ func main() {
 		svgOut   = flag.String("svg", "", "write the Figure 16 SVG to this file")
 		tradeoff = flag.Bool("tradeoff", false, "run the BRBC / Prim-Dijkstra trade-off study (Section 2 comparison)")
 		segment  = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
+		useStats = flag.Bool("stats", false, "print aggregate router work counters after the sweeps")
+		benchOut = flag.String("bench-json", "", "run the router micro-benchmarks and write JSON results to this file")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 && !*tradeoff && *segment == "" {
+	if *benchOut != "" {
+		if err := writeBenchJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *figure == 0 && !*tradeoff && *segment == "" {
+			return
+		}
+	}
+	if !*all && *table == 0 && *figure == 0 && !*tradeoff && *segment == "" && *benchOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -51,6 +63,10 @@ func main() {
 		}
 	}
 	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes}
+	if *useStats {
+		cfg.Stats = stats.New()
+		defer func() { fmt.Print(cfg.Stats.Snapshot()) }()
+	}
 
 	run := func(name string, f func() error) {
 		start := time.Now()

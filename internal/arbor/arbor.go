@@ -102,12 +102,11 @@ func DJKA(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 	if err != nil {
 		return graph.Tree{}, err
 	}
-	seen := make(map[graph.EdgeID]bool)
+	seen := cache.EdgeSet()
 	var edges []graph.EdgeID
 	for _, sink := range net[1:] {
 		for _, id := range src.PathTo(sink) {
-			if !seen[id] {
-				seen[id] = true
+			if seen.Add(id) {
 				edges = append(edges, id)
 			}
 		}

@@ -93,12 +93,11 @@ func chooseDominatedParent(cache *graph.SPTCache, src *graph.SPT, n0, v graph.No
 func finalize(cache *graph.SPTCache, union []graph.EdgeID, net []graph.NodeID) (graph.Tree, error) {
 	g := cache.Graph()
 	adj := make(map[graph.NodeID][]graph.Arc, 2*len(union))
-	dedup := make(map[graph.EdgeID]bool, len(union))
+	dedup := cache.EdgeSet()
 	for _, id := range union {
-		if dedup[id] {
+		if !dedup.Add(id) {
 			continue
 		}
-		dedup[id] = true
 		e := g.Edge(id)
 		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, ID: id})
 		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, ID: id})
@@ -161,7 +160,9 @@ func finalize(cache *graph.SPTCache, union []graph.EdgeID, net []graph.NodeID) (
 			}
 		}
 	}
-	seen := make(map[graph.EdgeID]bool)
+	// Re-acquiring the pooled edge set here is safe: dedup above is no
+	// longer consulted once the local adjacency is built.
+	seen := cache.EdgeSet()
 	var edges []graph.EdgeID
 	for _, sink := range net[1:] {
 		if _, ok := dist[sink]; !ok {
@@ -169,10 +170,9 @@ func finalize(cache *graph.SPTCache, union []graph.EdgeID, net []graph.NodeID) (
 		}
 		for v := sink; v != net[0]; v = prev[v] {
 			id := parent[v]
-			if seen[id] {
+			if !seen.Add(id) {
 				break // the rest of the path to the source is shared
 			}
-			seen[id] = true
 			edges = append(edges, id)
 		}
 	}

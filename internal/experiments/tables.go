@@ -8,6 +8,7 @@ import (
 
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/router"
+	"fpgarouter/internal/stats"
 )
 
 // progress emits a coarse progress line to stderr so long sweeps are
@@ -22,6 +23,9 @@ func progress(format string, args ...any) {
 type RouterConfig struct {
 	Seed      int64 // circuit synthesis seed
 	MaxPasses int   // feasibility threshold (paper: 20)
+	// Stats, when non-nil, accumulates router work counters (SSSP runs,
+	// rip-ups, width probes, …) across every routing call of the sweep.
+	Stats *stats.Collector
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -60,7 +64,9 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 		start = 6
 	}
 	progress("min-width search: %s with %s (start %d)", spec.Name, alg, start)
-	w, res, err := router.MinWidth(ckt, start, router.Options{
+	ctx := router.NewContext(cfg.Stats)
+	defer ctx.Close()
+	w, res, err := router.MinWidthCtx(ctx, ckt, start, router.Options{
 		Algorithm: alg,
 		MaxPasses: cfg.MaxPasses,
 	})
@@ -214,13 +220,15 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 		// The paper routes at the smallest width accommodating all three
 		// algorithms; start from the published Table 5 width and widen
 		// until every algorithm succeeds.
+		ctx := router.NewContext(cfg.Stats)
+		defer ctx.Close()
 		var results map[string]*router.Result
 		width := spec.Table5W
 		for ; width <= 4*spec.Table5W; width++ {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.Route(ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses})
+				res, err := router.RouteCtx(ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses})
 				if err != nil {
 					break
 				}

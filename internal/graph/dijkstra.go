@@ -66,7 +66,9 @@ func (q *pq) pop() pqItem {
 // Ties are broken deterministically by edge insertion order, so repeated
 // runs on the same graph yield identical trees.
 func (g *Graph) Dijkstra(src NodeID) *SPT {
-	return g.dijkstra(src, nil)
+	s := AcquireScratch()
+	defer ReleaseScratch(s)
+	return g.dijkstraWith(s, src, nil)
 }
 
 // DijkstraWithin computes shortest paths from src but stops as soon as
@@ -76,61 +78,54 @@ func (g *Graph) Dijkstra(src NodeID) *SPT {
 // early — so this is a pure optimization for callers that only query a
 // known node subset (the router's per-net caches).
 func (g *Graph) DijkstraWithin(src NodeID, stop []NodeID) *SPT {
-	if stop == nil {
-		return g.dijkstra(src, nil)
-	}
-	want := make([]bool, g.n)
-	remaining := 0
-	for _, v := range stop {
-		if !want[v] {
-			want[v] = true
+	s := AcquireScratch()
+	defer ReleaseScratch(s)
+	return g.dijkstraWith(s, src, stop)
+}
+
+// dijkstraWith is the single Dijkstra implementation: all working state
+// (heap, settled marks, stop-set marks) lives in the scratch and the
+// returned SPT comes off its free list, so a warm scratch runs without
+// allocating. A nil stop slice settles the whole graph.
+func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT {
+	n := g.n
+	ep := s.beginRun(n)
+	t := s.acquireSPT(n, src)
+	remaining := -1 // < 0: no early termination
+	if stop != nil {
+		remaining = 0
+		for _, v := range stop {
+			if s.stop[v] != ep {
+				s.stop[v] = ep
+				remaining++
+			}
+		}
+		if s.stop[src] != ep {
+			s.stop[src] = ep
 			remaining++
 		}
 	}
-	if !want[src] {
-		want[src] = true
-		remaining++
-	}
-	return g.dijkstra(src, &stopSet{want: want, remaining: remaining})
-}
-
-type stopSet struct {
-	want      []bool
-	remaining int
-}
-
-func (g *Graph) dijkstra(src NodeID, stop *stopSet) *SPT {
-	n := g.n
-	t := &SPT{
-		Source:     src,
-		Dist:       make([]float64, n),
-		ParentEdge: make([]EdgeID, n),
-		ParentNode: make([]NodeID, n),
-	}
-	for i := 0; i < n; i++ {
-		t.Dist[i] = Inf
-		t.ParentEdge[i] = None
-		t.ParentNode[i] = None
-	}
 	t.Dist[src] = 0
-	done := make([]bool, n)
-	q := make(pq, 0, 64)
+	s.heap = s.heap[:0]
+	q := &s.heap
 	q.push(pqItem{0, src})
-	for len(q) > 0 {
+	s.HeapPushes++
+	for len(*q) > 0 {
 		it := q.pop()
 		u := it.node
-		if done[u] {
+		if s.done[u] == ep {
 			continue
 		}
-		done[u] = true
-		if stop != nil && stop.want[u] {
-			stop.remaining--
-			if stop.remaining == 0 {
+		s.done[u] = ep
+		s.Settled++
+		if remaining >= 0 && s.stop[u] == ep {
+			remaining--
+			if remaining == 0 {
 				// Every requested node is settled; invalidate tentative
 				// state of unsettled nodes so they read as unreachable
 				// rather than carrying half-relaxed distances.
 				for v := 0; v < n; v++ {
-					if !done[v] {
+					if s.done[v] != ep {
 						t.Dist[v] = Inf
 						t.ParentEdge[v] = None
 						t.ParentNode[v] = None
@@ -142,7 +137,7 @@ func (g *Graph) dijkstra(src NodeID, stop *stopSet) *SPT {
 		du := t.Dist[u]
 		for _, a := range g.adj[u] {
 			e := &g.edges[a.ID]
-			if !e.Enabled || done[a.To] {
+			if !e.Enabled || s.done[a.To] == ep {
 				continue
 			}
 			nd := du + e.W
@@ -151,6 +146,7 @@ func (g *Graph) dijkstra(src NodeID, stop *stopSet) *SPT {
 				t.ParentEdge[a.To] = a.ID
 				t.ParentNode[a.To] = u
 				q.push(pqItem{nd, a.To})
+				s.HeapPushes++
 			}
 		}
 	}
@@ -188,10 +184,17 @@ func (t *SPT) Reachable(v NodeID) bool { return t.Dist[v] != Inf }
 // The cache MUST be invalidated (discarded) whenever edge weights or enable
 // flags change; it performs no change detection by design — algorithms in
 // this repository route a net against a frozen graph state, then mutate.
+//
+// Every cache is backed by a DijkstraScratch: either one attached by the
+// caller (WithScratch — the router threads one per-goroutine scratch
+// through all nets of a pass) or a private one created lazily. Release
+// recycles all cached trees into the scratch so the next net's cache reuses
+// their buffers.
 type SPTCache struct {
-	g     *Graph
-	trees map[NodeID]*SPT
-	stop  []NodeID // optional early-termination set (nil = settle all)
+	g       *Graph
+	trees   map[NodeID]*SPT
+	stop    []NodeID // optional early-termination set (nil = settle all)
+	scratch *DijkstraScratch
 	// Runs counts actual Dijkstra executions, exposed for ablation benches.
 	Runs int
 }
@@ -209,13 +212,49 @@ func NewSPTCacheWithin(g *Graph, stop []NodeID) *SPTCache {
 	return &SPTCache{g: g, trees: make(map[NodeID]*SPT), stop: stop}
 }
 
+// WithScratch backs the cache with an externally owned scratch (the routing
+// context's), replacing the lazily created private one. Returns c.
+func (c *SPTCache) WithScratch(s *DijkstraScratch) *SPTCache {
+	c.scratch = s
+	return c
+}
+
+// Scratch returns the cache's scratch, creating a private one on first use.
+func (c *SPTCache) Scratch() *DijkstraScratch {
+	if c.scratch == nil {
+		c.scratch = NewDijkstraScratch()
+	}
+	return c.scratch
+}
+
+// Release recycles every cached tree's buffers into the scratch and empties
+// the cache. The caller must drop all references to trees (and Dist slices)
+// obtained from the cache before releasing; the router releases each net's
+// cache after the net's tree (plain edge IDs) has been committed.
+func (c *SPTCache) Release() {
+	if c.scratch != nil {
+		for _, t := range c.trees {
+			c.scratch.RecycleSPT(t)
+		}
+	}
+	clear(c.trees)
+}
+
+// EdgeSet returns the scratch's edge set, emptied and sized for the graph.
+// At most one EdgeSet per cache is live at a time (see graph.EdgeSet).
+func (c *SPTCache) EdgeSet() EdgeSet { return c.Scratch().EdgeSet(c.g.NumEdges()) }
+
+// NodeSet returns the scratch's node set, emptied and sized for the graph.
+// At most one NodeSet per cache is live at a time (see graph.NodeSet).
+func (c *SPTCache) NodeSet() NodeSet { return c.Scratch().NodeSet(c.g.NumNodes()) }
+
 // Tree returns the shortest-paths tree rooted at src, computing it on first
 // use.
 func (c *SPTCache) Tree(src NodeID) *SPT {
 	if t, ok := c.trees[src]; ok {
 		return t
 	}
-	t := c.g.DijkstraWithin(src, c.stop)
+	t := c.g.dijkstraWith(c.Scratch(), src, c.stop)
 	c.trees[src] = t
 	c.Runs++
 	return t

@@ -1,0 +1,192 @@
+package graph
+
+import "sync"
+
+// DijkstraScratch pools the per-run working state of Dijkstra searches:
+// the binary heap, the settled/stop-set marks (reset in O(1) by bumping an
+// epoch counter instead of clearing), and a free list of recycled SPTs so
+// the router's ~O(nets × candidates × passes) shortest-path calls stop
+// allocating |V|-sized arrays. It also hosts the epoch-based edge/node sets
+// the Steiner heuristics use in place of per-call maps.
+//
+// A scratch is NOT safe for concurrent use: it belongs to exactly one
+// goroutine at a time. The parallel width search gives each probe goroutine
+// its own scratch via AcquireScratch/ReleaseScratch (a sync.Pool), which is
+// the intended sharing model. A scratch may be reused across graphs of
+// different sizes; buffers grow on demand and are retained at high water.
+//
+// The exported counters accumulate monotonically across runs; the router's
+// stats layer reads deltas around each net. They are plain ints (no
+// atomics) because of the single-goroutine ownership rule.
+type DijkstraScratch struct {
+	heap pq
+	done []uint32 // node → epoch at which it was settled
+	stop []uint32 // node → epoch at which it joined the stop set
+	ep   uint32   // current Dijkstra epoch (done/stop marks)
+	free []*SPT   // recycled shortest-path trees
+
+	edgeMark []uint32 // edge → epoch of membership in the live EdgeSet
+	edgeEp   uint32
+	nodeMark []uint32 // node → epoch of membership in the live NodeSet
+	nodeSlot []int32  // node → dense slot assigned by the live NodeSet
+	nodeEp   uint32
+	nodeLen  int32 // slots assigned by the live NodeSet
+
+	// Runs counts Dijkstra executions through this scratch.
+	Runs int64
+	// HeapPushes counts priority-queue insertions (including re-pushes from
+	// lazy deletion), the classic SSSP work measure.
+	HeapPushes int64
+	// Settled counts nodes permanently labelled across all runs.
+	Settled int64
+}
+
+// NewDijkstraScratch returns an empty scratch. Most callers should prefer
+// AcquireScratch/ReleaseScratch, which recycle warm buffers process-wide.
+func NewDijkstraScratch() *DijkstraScratch { return new(DijkstraScratch) }
+
+var scratchPool = sync.Pool{New: func() any { return new(DijkstraScratch) }}
+
+// AcquireScratch takes a scratch from the process-wide pool. Pair with
+// ReleaseScratch when the routing context that owns it is done.
+func AcquireScratch() *DijkstraScratch { return scratchPool.Get().(*DijkstraScratch) }
+
+// ReleaseScratch returns a scratch (and every SPT recycled into it) to the
+// pool. The caller must not use the scratch, or any SPT obtained through a
+// cache backed by it and since released, after this call.
+func ReleaseScratch(s *DijkstraScratch) { scratchPool.Put(s) }
+
+// beginRun sizes the mark arrays for an n-node graph and opens a fresh
+// epoch, invalidating all done/stop marks in O(1).
+func (s *DijkstraScratch) beginRun(n int) uint32 {
+	if len(s.done) < n {
+		s.done = make([]uint32, n)
+		s.stop = make([]uint32, n)
+		s.ep = 0
+	}
+	s.ep++
+	if s.ep == 0 { // epoch counter wrapped: stale marks could alias, clear
+		clear(s.done)
+		clear(s.stop)
+		s.ep = 1
+	}
+	s.Runs++
+	return s.ep
+}
+
+// acquireSPT pops a recycled tree (or allocates one), sizes it for an
+// n-node graph and initializes every label to unreachable.
+func (s *DijkstraScratch) acquireSPT(n int, src NodeID) *SPT {
+	var t *SPT
+	if k := len(s.free); k > 0 {
+		t = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		t = new(SPT)
+	}
+	if cap(t.Dist) < n {
+		t.Dist = make([]float64, n)
+		t.ParentEdge = make([]EdgeID, n)
+		t.ParentNode = make([]NodeID, n)
+	} else {
+		t.Dist = t.Dist[:n]
+		t.ParentEdge = t.ParentEdge[:n]
+		t.ParentNode = t.ParentNode[:n]
+	}
+	t.Source = src
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Inf
+		t.ParentEdge[i] = None
+		t.ParentNode[i] = None
+	}
+	return t
+}
+
+// RecycleSPT returns a tree's buffers to the scratch for reuse by a later
+// Dijkstra run. The caller must drop every reference to the tree (and to
+// slices read off it, like Dist) before recycling; SPTCache.Release does
+// this for a whole per-net cache at once.
+func (s *DijkstraScratch) RecycleSPT(t *SPT) {
+	if t != nil {
+		s.free = append(s.free, t)
+	}
+}
+
+// EdgeSet is an O(1)-reset membership set over edge IDs, backed by its
+// scratch's epoch-stamped array. At most one EdgeSet per scratch is live at
+// a time: acquiring a new one (DijkstraScratch.EdgeSet or SPTCache.EdgeSet)
+// invalidates the previous.
+type EdgeSet struct{ s *DijkstraScratch }
+
+// EdgeSet returns the scratch's edge set, emptied and sized for numEdges
+// edges.
+func (s *DijkstraScratch) EdgeSet(numEdges int) EdgeSet {
+	if len(s.edgeMark) < numEdges {
+		s.edgeMark = make([]uint32, numEdges)
+		s.edgeEp = 0
+	}
+	s.edgeEp++
+	if s.edgeEp == 0 {
+		clear(s.edgeMark)
+		s.edgeEp = 1
+	}
+	return EdgeSet{s}
+}
+
+// Add inserts id and reports whether it was absent.
+func (es EdgeSet) Add(id EdgeID) bool {
+	if es.s.edgeMark[id] == es.s.edgeEp {
+		return false
+	}
+	es.s.edgeMark[id] = es.s.edgeEp
+	return true
+}
+
+// Has reports membership of id.
+func (es EdgeSet) Has(id EdgeID) bool { return es.s.edgeMark[id] == es.s.edgeEp }
+
+// NodeSet is an O(1)-reset membership set over node IDs that also assigns
+// dense slots [0, Len) in insertion order — the compact remapping the local
+// MST construction needs. Like EdgeSet, at most one per scratch is live.
+type NodeSet struct{ s *DijkstraScratch }
+
+// NodeSet returns the scratch's node set, emptied and sized for n nodes.
+func (s *DijkstraScratch) NodeSet(n int) NodeSet {
+	if len(s.nodeMark) < n {
+		s.nodeMark = make([]uint32, n)
+		s.nodeSlot = make([]int32, n)
+		s.nodeEp = 0
+	}
+	s.nodeEp++
+	if s.nodeEp == 0 {
+		clear(s.nodeMark)
+		s.nodeEp = 1
+	}
+	s.nodeLen = 0
+	return NodeSet{s}
+}
+
+// Add inserts v (assigning it the next slot) and reports whether it was
+// absent.
+func (ns NodeSet) Add(v NodeID) bool {
+	if ns.s.nodeMark[v] == ns.s.nodeEp {
+		return false
+	}
+	ns.s.nodeMark[v] = ns.s.nodeEp
+	ns.s.nodeSlot[v] = ns.s.nodeLen
+	ns.s.nodeLen++
+	return true
+}
+
+// Has reports membership of v.
+func (ns NodeSet) Has(v NodeID) bool { return ns.s.nodeMark[v] == ns.s.nodeEp }
+
+// Slot returns v's dense slot, inserting it first if absent.
+func (ns NodeSet) Slot(v NodeID) int32 {
+	ns.Add(v)
+	return ns.s.nodeSlot[v]
+}
+
+// Len returns the number of distinct nodes inserted.
+func (ns NodeSet) Len() int { return int(ns.s.nodeLen) }

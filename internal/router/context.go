@@ -1,0 +1,63 @@
+// Routing context: the explicit, reusable state threaded through every
+// layer of a routing run in place of ambient per-call allocations. A
+// Context owns a pooled graph.DijkstraScratch (heap, settled marks and
+// recycled SPT buffers shared by every net routed under it) and an optional
+// stats.Collector. One Context serves one goroutine; the parallel width
+// search derives a child per probe goroutine, all reporting into the same
+// collector.
+package router
+
+import (
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/stats"
+)
+
+// Context carries the reusable scratch state and observability hooks of a
+// routing run. The zero value is not usable; create one with NewContext
+// and Close it when done so the scratch returns to the process-wide pool.
+// A nil *Context is accepted by every *Ctx entry point (an ephemeral
+// context is created for the call).
+type Context struct {
+	// Stats receives work counters when non-nil; leaving it nil makes every
+	// recording site a no-op (see package stats).
+	Stats *stats.Collector
+
+	scratch *graph.DijkstraScratch
+}
+
+// NewContext returns a routing context backed by a pooled Dijkstra scratch,
+// recording into c (which may be nil for no stats).
+func NewContext(c *stats.Collector) *Context {
+	return &Context{Stats: c, scratch: graph.AcquireScratch()}
+}
+
+// Close releases the context's scratch back to the pool. The context (and
+// any SPTCache still attached to its scratch) must not be used afterwards.
+func (ctx *Context) Close() {
+	if ctx != nil && ctx.scratch != nil {
+		graph.ReleaseScratch(ctx.scratch)
+		ctx.scratch = nil
+	}
+}
+
+// child derives a context for one worker goroutine of a parallel search:
+// its own scratch, the shared stats collector. Close it when the worker is
+// done.
+func (ctx *Context) child() *Context {
+	return &Context{Stats: ctx.Stats, scratch: graph.AcquireScratch()}
+}
+
+// ensureContext returns ctx, or an ephemeral context plus its cleanup when
+// ctx is nil.
+func ensureContext(ctx *Context) (*Context, func()) {
+	if ctx != nil {
+		return ctx, func() {}
+	}
+	c := NewContext(nil)
+	return c, c.Close
+}
+
+// attach backs a per-net cache with the context's scratch.
+func (ctx *Context) attach(cache *graph.SPTCache) *graph.SPTCache {
+	return cache.WithScratch(ctx.scratch)
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"fpgarouter/internal/arbor"
 	"fpgarouter/internal/circuits"
@@ -41,6 +42,13 @@ const (
 // the requested channel width within the pass limit.
 var ErrUnroutable = errors.New("router: circuit unroutable at this channel width")
 
+// Zero is the sentinel for explicitly requesting a zero value in Options
+// fields where the plain 0 literal selects the default: pass
+// CongestionAlpha: router.Zero to disable congestion weighting, or
+// BBoxMargin: router.Zero for a margin-less candidate bounding box. Any
+// negative value works the same way.
+const Zero = -1
+
 // Options configures a routing run. The zero value is completed by
 // defaults: IKMB, 20 passes, bounding-box margin 2, congestion α = 1.
 type Options struct {
@@ -50,10 +58,18 @@ type Options struct {
 	// passes to attempt before declaring the width unroutable (paper: 20).
 	MaxPasses int
 	// BBoxMargin widens the Steiner-candidate bounding box around each
-	// net's pins, in switch-block units.
+	// net's pins, in switch-block units. 0 selects the default (2); use
+	// Zero (or any negative value) for an explicit zero margin.
 	BBoxMargin int
-	// CongestionAlpha scales fabric congestion weighting.
+	// CongestionAlpha scales fabric congestion weighting. 0 selects the
+	// default (1.0); use Zero (or any negative value) to explicitly
+	// disable congestion weighting.
 	CongestionAlpha float64
+	// WidthProbes bounds how many channel widths MinWidth probes
+	// concurrently. 0 selects the default (the number of CPUs, capped at
+	// 8); 1 (or any negative value) forces one probe at a time. The
+	// search's outputs are identical at every setting.
+	WidthProbes int
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
 	NoMoveToFront bool
@@ -83,11 +99,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxPasses == 0 {
 		o.MaxPasses = 20
 	}
-	if o.BBoxMargin == 0 {
+	// Sentinel-aware defaults: the zero value still selects the documented
+	// default, while negative values (router.Zero) mean an explicit zero —
+	// without this, a caller could never disable congestion weighting or
+	// the bbox margin.
+	switch {
+	case o.BBoxMargin == 0:
 		o.BBoxMargin = 2
+	case o.BBoxMargin < 0:
+		o.BBoxMargin = 0
 	}
-	if o.CongestionAlpha == 0 {
+	switch {
+	case o.CongestionAlpha == 0:
 		o.CongestionAlpha = 1.0
+	case o.CongestionAlpha < 0:
+		o.CongestionAlpha = 0
 	}
 	if o.CriticalAlgorithm == "" {
 		o.CriticalAlgorithm = AlgIDOM
@@ -130,7 +156,14 @@ type Result struct {
 // On success the result carries per-net trees and metrics; on failure it
 // returns ErrUnroutable along with the last pass's failure set.
 func Route(ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
-	res, _, err := RouteWithFabric(ckt, w, opts)
+	return RouteCtx(nil, ckt, w, opts)
+}
+
+// RouteCtx is Route with an explicit routing context (nil for an ephemeral
+// one): the context's pooled scratch is reused by every SSSP call of the
+// run and its collector, if any, receives the work counters.
+func RouteCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
+	res, _, err := RouteWithFabricCtx(ctx, ckt, w, opts)
 	return res, err
 }
 
@@ -138,6 +171,13 @@ func Route(ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
 // (with the successful pass's nets committed), for rendering and
 // utilization analysis.
 func RouteWithFabric(ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga.Fabric, error) {
+	return RouteWithFabricCtx(nil, ckt, w, opts)
+}
+
+// RouteWithFabricCtx is RouteWithFabric with an explicit routing context.
+func RouteWithFabricCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga.Fabric, error) {
+	ctx, done := ensureContext(ctx)
+	defer done()
 	opts = opts.withDefaults()
 	arch := ckt.ArchAt(w)
 	if opts.SegLens != nil {
@@ -148,11 +188,11 @@ func RouteWithFabric(ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga
 		return nil, nil, err
 	}
 	fab.CongestionAlpha = opts.CongestionAlpha
-	res, err := routeOnFabric(fab, ckt, opts)
+	res, err := routeOnFabric(ctx, fab, ckt, opts)
 	return res, fab, err
 }
 
-func routeOnFabric(fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Result, error) {
+func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Result, error) {
 	crit := opts.criticalSet()
 	order := initialOrder(ckt)
 	if crit != nil {
@@ -177,8 +217,10 @@ func routeOnFabric(fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Resu
 		return opts
 	}
 	res := &Result{Width: fab.W, Nets: make([]NetResult, len(ckt.Nets))}
+	st := ctx.Stats
 	for pass := 1; pass <= opts.MaxPasses; pass++ {
 		res.Passes = pass
+		st.AddPass()
 		fab.Reset()
 		// Register pin demand for every net so traversal routes avoid
 		// walling off pins of nets still waiting to be routed.
@@ -195,7 +237,17 @@ func routeOnFabric(fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Resu
 			for _, p := range ckt.Nets[idx].Pins {
 				fab.AddPinDemand(p, -1)
 			}
-			tree, err := routeNet(fab, ckt.Nets[idx], netOpts(idx))
+			var netStart time.Time
+			var runs0, pushes0 int64
+			if st.Enabled() {
+				netStart = time.Now()
+				runs0, pushes0 = ctx.scratch.Runs, ctx.scratch.HeapPushes
+			}
+			tree, err := routeNet(ctx, fab, ckt.Nets[idx], netOpts(idx))
+			if st.Enabled() {
+				st.AddSSSP(ctx.scratch.Runs-runs0, ctx.scratch.HeapPushes-pushes0)
+				st.ObserveNet(time.Since(netStart), err == nil)
+			}
 			if err != nil {
 				ok = false
 				failed = append(failed, idx)
@@ -217,9 +269,13 @@ func routeOnFabric(fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Resu
 				res.Wirelength += nr.Wirelength
 				res.MaxPathSum += nr.MaxPath
 			}
+			if st.Enabled() {
+				st.RecordCongestion(fab.SpanUtilization(), fab.W)
+			}
 			return res, nil
 		}
 		res.FailedNets = failed
+		st.AddRipUps(int64(len(failed)))
 		if !opts.NoMoveToFront {
 			order = moveToFront(order, failed)
 		}
@@ -237,55 +293,66 @@ const maxPool = 1024
 // restricts connection-block taps to the net's own pins, so routes cannot
 // pass through unrelated logic-block pins. Shortest-path caches terminate
 // early once the net's pins and candidate pool are settled (distances stay
-// exact; see graph.DijkstraWithin).
-func routeNet(fab *fpga.Fabric, net circuits.Net, opts Options) (graph.Tree, error) {
+// exact; see graph.DijkstraWithin). The per-net cache is backed by the
+// context's pooled scratch and released on return, so its SPT buffers are
+// recycled for the next net instead of feeding the garbage collector.
+func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (graph.Tree, error) {
+	// Terminal-only algorithms settle just the net's pins; the rest also
+	// settle the Steiner-candidate pool so candidate evaluations stay exact.
+	var needsPool bool
+	switch opts.Algorithm {
+	case AlgKMB, AlgDJKA, AlgDOM:
+		needsPool = false
+	case AlgSPH, AlgZEL, AlgPFA, AlgIKMB, AlgISPH, AlgIZEL, AlgIDOM:
+		needsPool = true
+	default:
+		return graph.Tree{}, fmt.Errorf("router: unknown algorithm %q", opts.Algorithm)
+	}
 	fab.BeginNet(net.Pins)
 	terms := pinNodes(fab, net.Pins)
+	var cache *graph.SPTCache
+	var pool []graph.NodeID
+	if needsPool {
+		pool = candidatePool(fab, net, opts.BBoxMargin)
+		cache = poolCache(fab, terms, pool)
+	} else {
+		cache = termCache(fab, terms)
+	}
+	cache = ctx.attach(cache)
+	defer cache.Release()
+	iterOpts := core.Options{Candidates: pool, Batched: !opts.SingleStep}
 	switch opts.Algorithm {
 	case AlgKMB:
-		return steiner.KMB(termCache(fab, terms), terms)
+		return steiner.KMB(cache, terms)
 	case AlgDJKA:
-		return arbor.DJKA(termCache(fab, terms), terms)
+		return arbor.DJKA(cache, terms)
 	case AlgDOM:
-		return arbor.DOM(termCache(fab, terms), terms)
+		return arbor.DOM(cache, terms)
 	case AlgSPH:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return steiner.SPH(poolCache(fab, terms, pool), terms)
+		return steiner.SPH(cache, terms)
 	case AlgZEL:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return steiner.ZELRestricted(poolCache(fab, terms, pool), terms, pool)
+		return steiner.ZELRestricted(cache, terms, pool)
 	case AlgPFA:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return arbor.PFA(poolCache(fab, terms, pool), terms)
+		return arbor.PFA(cache, terms)
 	case AlgIKMB:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return core.IGMST(poolCache(fab, terms, pool), terms, steiner.KMB, core.Options{
-			Candidates: pool,
-			Batched:    !opts.SingleStep,
-		})
+		tree, st, err := core.IGMSTStats(cache, terms, steiner.KMB, iterOpts)
+		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		return tree, err
 	case AlgISPH:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return core.IGMST(poolCache(fab, terms, pool), terms, steiner.SPH, core.Options{
-			Candidates: pool,
-			Batched:    !opts.SingleStep,
-		})
+		tree, st, err := core.IGMSTStats(cache, terms, steiner.SPH, iterOpts)
+		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		return tree, err
 	case AlgIZEL:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
 		zel := func(c *graph.SPTCache, n []graph.NodeID) (graph.Tree, error) {
 			return steiner.ZELRestricted(c, n, pool)
 		}
-		return core.IGMST(poolCache(fab, terms, pool), terms, zel, core.Options{
-			Candidates: pool,
-			Batched:    !opts.SingleStep,
-		})
-	case AlgIDOM:
-		pool := candidatePool(fab, net, opts.BBoxMargin)
-		return core.IDOMOpts(poolCache(fab, terms, pool), terms, core.Options{
-			Candidates: pool,
-			Batched:    !opts.SingleStep,
-		})
-	default:
-		return graph.Tree{}, fmt.Errorf("router: unknown algorithm %q", opts.Algorithm)
+		tree, st, err := core.IGMSTStats(cache, terms, zel, iterOpts)
+		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		return tree, err
+	default: // AlgIDOM
+		tree, st, err := core.IDOMStats(cache, terms, iterOpts)
+		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		return tree, err
 	}
 }
 
@@ -399,44 +466,4 @@ func moveToFront(order []int, failed []int) []int {
 		}
 	}
 	return out
-}
-
-// MinWidth finds the smallest channel width at which the circuit routes
-// completely: it grows the width from start until the first success, then
-// walks downward while success persists. It returns the minimum width and
-// the routing result at that width.
-func MinWidth(ckt *circuits.Circuit, start int, opts Options) (int, *Result, error) {
-	if start < 1 {
-		start = 4
-	}
-	w := start
-	var lastGood *Result
-	// Grow until routable.
-	for {
-		res, err := Route(ckt, w, opts)
-		if err == nil {
-			lastGood = res
-			break
-		}
-		if !errors.Is(err, ErrUnroutable) {
-			return 0, nil, err
-		}
-		w++
-		if w > 4*start+64 {
-			return 0, nil, fmt.Errorf("router: %s unroutable up to width %d", ckt.Name, w)
-		}
-	}
-	// Shrink while routable.
-	for w > 1 {
-		res, err := Route(ckt, w-1, opts)
-		if err != nil {
-			if errors.Is(err, ErrUnroutable) {
-				break
-			}
-			return 0, nil, err
-		}
-		w--
-		lastGood = res
-	}
-	return w, lastGood, nil
 }

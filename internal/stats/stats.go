@@ -1,0 +1,195 @@
+// Package stats is the router's observability layer: a concurrency-safe
+// collector of per-pass work counters (SSSP invocations, heap pushes,
+// rip-ups, candidate-scan evaluations, per-net routing time, channel-span
+// congestion histogram) that costs nothing when absent.
+//
+// Every record method is a no-op on a nil *Collector, so the router
+// unconditionally calls them and callers opt in by attaching a collector to
+// their routing Context (cmd/fpgaroute -stats, cmd/tables -stats, or the
+// experiments harnesses). All counters are atomics: one collector can be
+// shared by the concurrent width probes of the parallel MinWidth search.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// CongestionBuckets is the number of bins in the span-utilization
+// histogram: bucket i covers utilization fractions [i/10, (i+1)/10), with
+// fully used spans landing in the last bucket.
+const CongestionBuckets = 10
+
+// Collector accumulates router work counters. The zero value is ready to
+// use; a nil *Collector is also valid and records nothing.
+type Collector struct {
+	ssspRuns     atomic.Int64
+	heapPushes   atomic.Int64
+	netsRouted   atomic.Int64
+	netFailures  atomic.Int64
+	netTimeNs    atomic.Int64
+	maxNetTimeNs atomic.Int64
+	passes       atomic.Int64
+	ripUps       atomic.Int64
+	widthProbes  atomic.Int64
+	candEvals    atomic.Int64
+	steinerPts   atomic.Int64
+	congestion   [CongestionBuckets]atomic.Int64
+}
+
+// New returns an empty collector.
+func New() *Collector { return new(Collector) }
+
+// Enabled reports whether the collector actually records (non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// AddSSSP records runs Dijkstra executions performing pushes heap
+// insertions (the router feeds deltas of its scratch's counters per net).
+func (c *Collector) AddSSSP(runs, pushes int64) {
+	if c == nil {
+		return
+	}
+	c.ssspRuns.Add(runs)
+	c.heapPushes.Add(pushes)
+}
+
+// ObserveNet records one net-routing attempt: its wall time and outcome.
+func (c *Collector) ObserveNet(d time.Duration, ok bool) {
+	if c == nil {
+		return
+	}
+	if ok {
+		c.netsRouted.Add(1)
+	} else {
+		c.netFailures.Add(1)
+	}
+	ns := d.Nanoseconds()
+	c.netTimeNs.Add(ns)
+	for {
+		old := c.maxNetTimeNs.Load()
+		if ns <= old || c.maxNetTimeNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// AddPass records one rip-up/re-route pass.
+func (c *Collector) AddPass() {
+	if c == nil {
+		return
+	}
+	c.passes.Add(1)
+}
+
+// AddRipUps records n nets ripped up for re-routing after a failed pass.
+func (c *Collector) AddRipUps(n int64) {
+	if c == nil {
+		return
+	}
+	c.ripUps.Add(n)
+}
+
+// AddWidthProbe records one Route call issued by a channel-width search.
+func (c *Collector) AddWidthProbe() {
+	if c == nil {
+		return
+	}
+	c.widthProbes.Add(1)
+}
+
+// AddCandidateWork records an iterated construction's candidate-scan work:
+// evals base-heuristic evaluations and points admitted Steiner points.
+func (c *Collector) AddCandidateWork(evals, points int64) {
+	if c == nil {
+		return
+	}
+	c.candEvals.Add(evals)
+	c.steinerPts.Add(points)
+}
+
+// RecordCongestion bins each channel span's utilization fraction
+// (used/width) into the congestion histogram; the router records the final
+// fabric state of each successfully routed circuit.
+func (c *Collector) RecordCongestion(used []int32, width int) {
+	if c == nil || width <= 0 {
+		return
+	}
+	for _, u := range used {
+		b := int(u) * CongestionBuckets / width
+		if b >= CongestionBuckets {
+			b = CongestionBuckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		c.congestion[b].Add(1)
+	}
+}
+
+// Snapshot is a plain-value copy of the collector's counters.
+type Snapshot struct {
+	SSSPRuns       int64
+	HeapPushes     int64
+	NetsRouted     int64
+	NetFailures    int64
+	NetTime        time.Duration
+	MaxNetTime     time.Duration
+	Passes         int64
+	RipUps         int64
+	WidthProbes    int64
+	CandidateEvals int64
+	SteinerPoints  int64
+	Congestion     [CongestionBuckets]int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each field is
+// read atomically; cross-field skew is possible while routing is live).
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		SSSPRuns:       c.ssspRuns.Load(),
+		HeapPushes:     c.heapPushes.Load(),
+		NetsRouted:     c.netsRouted.Load(),
+		NetFailures:    c.netFailures.Load(),
+		NetTime:        time.Duration(c.netTimeNs.Load()),
+		MaxNetTime:     time.Duration(c.maxNetTimeNs.Load()),
+		Passes:         c.passes.Load(),
+		RipUps:         c.ripUps.Load(),
+		WidthProbes:    c.widthProbes.Load(),
+		CandidateEvals: c.candEvals.Load(),
+		SteinerPoints:  c.steinerPts.Load(),
+	}
+	for i := range c.congestion {
+		s.Congestion[i] = c.congestion[i].Load()
+	}
+	return s
+}
+
+// String renders the snapshot as the multi-line report printed by the
+// -stats flags of cmd/fpgaroute and cmd/tables.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router stats:\n")
+	fmt.Fprintf(&b, "  SSSP runs          %d (heap pushes %d)\n", s.SSSPRuns, s.HeapPushes)
+	fmt.Fprintf(&b, "  nets routed        %d (failures %d, rip-ups %d)\n", s.NetsRouted, s.NetFailures, s.RipUps)
+	fmt.Fprintf(&b, "  passes             %d (width probes %d)\n", s.Passes, s.WidthProbes)
+	fmt.Fprintf(&b, "  candidate evals    %d (Steiner points admitted %d)\n", s.CandidateEvals, s.SteinerPoints)
+	avg := time.Duration(0)
+	if n := s.NetsRouted + s.NetFailures; n > 0 {
+		avg = s.NetTime / time.Duration(n)
+	}
+	fmt.Fprintf(&b, "  net time           total %v, avg %v, max %v\n", s.NetTime.Round(time.Microsecond), avg.Round(time.Microsecond), s.MaxNetTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  congestion (spans by utilization decile): ")
+	for i, n := range s.Congestion {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsSafe exercises every record method and Snapshot on a nil
+// receiver: the zero-cost-when-absent contract.
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	c.AddSSSP(3, 17)
+	c.ObserveNet(time.Millisecond, true)
+	c.AddPass()
+	c.AddRipUps(2)
+	c.AddWidthProbe()
+	c.AddCandidateWork(5, 1)
+	c.RecordCongestion([]int32{1, 2}, 4)
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil collector snapshot %+v", s)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := New()
+	c.AddSSSP(3, 40)
+	c.AddSSSP(2, 10)
+	c.ObserveNet(2*time.Millisecond, true)
+	c.ObserveNet(5*time.Millisecond, false)
+	c.ObserveNet(time.Millisecond, true)
+	c.AddPass()
+	c.AddPass()
+	c.AddRipUps(4)
+	c.AddWidthProbe()
+	c.AddCandidateWork(100, 7)
+	s := c.Snapshot()
+	if s.SSSPRuns != 5 || s.HeapPushes != 50 {
+		t.Fatalf("SSSP %d/%d", s.SSSPRuns, s.HeapPushes)
+	}
+	if s.NetsRouted != 2 || s.NetFailures != 1 {
+		t.Fatalf("nets %d/%d", s.NetsRouted, s.NetFailures)
+	}
+	if s.NetTime != 8*time.Millisecond || s.MaxNetTime != 5*time.Millisecond {
+		t.Fatalf("time %v max %v", s.NetTime, s.MaxNetTime)
+	}
+	if s.Passes != 2 || s.RipUps != 4 || s.WidthProbes != 1 {
+		t.Fatalf("passes %d ripups %d probes %d", s.Passes, s.RipUps, s.WidthProbes)
+	}
+	if s.CandidateEvals != 100 || s.SteinerPoints != 7 {
+		t.Fatalf("candidates %d/%d", s.CandidateEvals, s.SteinerPoints)
+	}
+}
+
+// TestCongestionHistogram checks bucket assignment (decile bins, full spans
+// clamped into the last) and that every span lands somewhere.
+func TestCongestionHistogram(t *testing.T) {
+	c := New()
+	used := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 10}
+	c.RecordCongestion(used, 10)
+	s := c.Snapshot()
+	var sum int64
+	for _, n := range s.Congestion {
+		sum += n
+	}
+	if sum != int64(len(used)) {
+		t.Fatalf("histogram holds %d spans, want %d", sum, len(used))
+	}
+	if s.Congestion[0] != 1 { // only utilization 0
+		t.Fatalf("bucket 0 = %d", s.Congestion[0])
+	}
+	if s.Congestion[CongestionBuckets-1] != 3 { // 9/10 and the two full spans
+		t.Fatalf("last bucket = %d", s.Congestion[CongestionBuckets-1])
+	}
+	// Zero width records nothing (and must not divide by zero).
+	c2 := New()
+	c2.RecordCongestion(used, 0)
+	if c2.Snapshot() != (Snapshot{}) {
+		t.Fatal("zero-width congestion recorded")
+	}
+}
+
+// TestConcurrentRecording hammers one collector from many goroutines — the
+// sharing model of the parallel width search — and checks totals.
+func TestConcurrentRecording(t *testing.T) {
+	c := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddSSSP(1, 2)
+				c.ObserveNet(time.Microsecond, i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.SSSPRuns != workers*per || s.HeapPushes != 2*workers*per {
+		t.Fatalf("SSSP %d/%d", s.SSSPRuns, s.HeapPushes)
+	}
+	if s.NetsRouted+s.NetFailures != workers*per {
+		t.Fatalf("nets %d+%d", s.NetsRouted, s.NetFailures)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	c := New()
+	c.AddSSSP(12, 345)
+	c.AddPass()
+	out := c.Snapshot().String()
+	for _, want := range []string{"router stats:", "SSSP runs", "12", "345", "congestion"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

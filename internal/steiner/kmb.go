@@ -27,19 +27,18 @@ func KMB(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 	if err != nil {
 		return graph.Tree{}, err
 	}
-	seen := make(map[graph.EdgeID]bool)
+	seen := cache.EdgeSet()
 	var pathEdges []graph.EdgeID
 	for _, pr := range pairs {
 		for _, ge := range cache.Path(net[pr[0]], net[pr[1]]) {
-			if !seen[ge] {
-				seen[ge] = true
+			if seen.Add(ge) {
 				pathEdges = append(pathEdges, ge)
 			}
 		}
 	}
 	// Step 3: MST over the expanded subgraph, then prune pendant
-	// non-terminals.
-	mst2 := localMST(cache.Graph(), pathEdges)
+	// non-terminals. localMST re-acquires the edge set; seen is dead here.
+	mst2 := localMST(cache, pathEdges)
 	return graph.PruneTree(cache.Graph(), mst2, net), nil
 }
 

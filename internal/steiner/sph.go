@@ -18,12 +18,19 @@ func SPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 	}
 	g := cache.Graph()
 
-	// Nodes currently in the tree (starts as just the source).
-	inTree := map[graph.NodeID]bool{net[0]: true}
+	// Nodes currently in the tree (starts as just the source), kept as an
+	// insertion-ordered slice: scanning it in that fixed order makes the
+	// tie-break between equally near attachment points deterministic (a
+	// map-keyed set would leave it to map iteration order) and reuses the
+	// cache's pooled sets instead of allocating per call.
+	inTree := cache.NodeSet()
+	treeNodes := make([]graph.NodeID, 1, 2*len(net))
+	treeNodes[0] = net[0]
+	inTree.Add(net[0])
 	connected := make([]bool, len(net))
 	connected[0] = true
 	var edges []graph.EdgeID
-	edgeSet := make(map[graph.EdgeID]bool)
+	edgeSet := cache.EdgeSet()
 
 	for remaining := len(net) - 1; remaining > 0; remaining-- {
 		// Find the unconnected terminal with the cheapest shortest path to
@@ -38,7 +45,7 @@ func SPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 				continue
 			}
 			tt := cache.Tree(term)
-			for v := range inTree {
+			for _, v := range treeNodes {
 				if d := tt.Dist[v]; d < bestD {
 					bestD = d
 					bestTerm = i
@@ -54,19 +61,25 @@ func SPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 		// attach mid-path, which is where SPH's Steiner points come from).
 		path := cache.Tree(net[bestTerm]).PathTo(bestNode)
 		for _, id := range path {
-			if !edgeSet[id] {
-				edgeSet[id] = true
+			if edgeSet.Add(id) {
 				edges = append(edges, id)
 			}
 			e := g.Edge(id)
-			inTree[e.U] = true
-			inTree[e.V] = true
+			if inTree.Add(e.U) {
+				treeNodes = append(treeNodes, e.U)
+			}
+			if inTree.Add(e.V) {
+				treeNodes = append(treeNodes, e.V)
+			}
 		}
-		inTree[net[bestTerm]] = true
+		if inTree.Add(net[bestTerm]) {
+			treeNodes = append(treeNodes, net[bestTerm])
+		}
 		connected[bestTerm] = true
 	}
 	// The union of spliced paths can touch a tree node twice under ties;
 	// finish with a local MST + prune exactly like KMB's steps 3–4.
-	mst := localMST(g, edges)
+	// localMST re-acquires both pooled sets; inTree/edgeSet are dead here.
+	mst := localMST(cache, edges)
 	return graph.PruneTree(g, mst, net), nil
 }

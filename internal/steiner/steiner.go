@@ -99,15 +99,14 @@ func (dg *DistanceGraph) Index(v graph.NodeID) int { return dg.pos[v] }
 // ExpandEdges translates a set of distance-graph edges into the underlying
 // graph's edge IDs by expanding each into its shortest path (deduplicated).
 func (dg *DistanceGraph) ExpandEdges(cache *graph.SPTCache, ids []graph.EdgeID) []graph.EdgeID {
-	seen := make(map[graph.EdgeID]bool)
+	seen := cache.EdgeSet()
 	var out []graph.EdgeID
 	for _, id := range ids {
 		e := dg.G.Edge(id)
 		u := dg.Terms[e.U]
 		v := dg.Terms[e.V]
 		for _, ge := range cache.Path(u, v) {
-			if !seen[ge] {
-				seen[ge] = true
+			if seen.Add(ge) {
 				out = append(out, ge)
 			}
 		}
@@ -115,34 +114,29 @@ func (dg *DistanceGraph) ExpandEdges(cache *graph.SPTCache, ids []graph.EdgeID) 
 	return out
 }
 
-// localMST computes an MST of the subgraph induced by the given edges of g
-// (deduplicated) using Kruskal over a compact node remapping, so its cost
-// is proportional to the edge set, not to |V(g)|. The edge set is assumed
-// to induce a connected subgraph (true for unions of shortest paths that
-// expand a connected tree). Tie-breaking is by edge ID, deterministic.
+// localMST computes an MST of the subgraph induced by the given edges of
+// the cache's graph (deduplicated) using Kruskal over a compact node
+// remapping, so its cost is proportional to the edge set, not to |V(g)|.
+// The edge set is assumed to induce a connected subgraph (true for unions
+// of shortest paths that expand a connected tree). Tie-breaking is by edge
+// ID, deterministic.
 //
 // This is the hot path of every candidate-Steiner-node evaluation in the
-// iterated constructions, which is why it avoids allocating |V|-sized
-// scratch state (see DESIGN.md §5).
-func localMST(g *graph.Graph, edges []graph.EdgeID) []graph.EdgeID {
+// iterated constructions, which is why dedup and remapping run on the
+// cache's pooled epoch sets instead of per-call maps (see DESIGN.md §5).
+// It acquires the cache's EdgeSet and NodeSet, invalidating any the caller
+// still holds.
+func localMST(cache *graph.SPTCache, edges []graph.EdgeID) []graph.EdgeID {
+	g := cache.Graph()
+	seen := cache.EdgeSet()
+	remap := cache.NodeSet()
 	uniq := make([]graph.EdgeID, 0, len(edges))
-	seen := make(map[graph.EdgeID]bool, len(edges))
-	remap := make(map[graph.NodeID]int32, len(edges)+1)
-	idOf := func(v graph.NodeID) int32 {
-		if id, ok := remap[v]; ok {
-			return id
-		}
-		id := int32(len(remap))
-		remap[v] = id
-		return id
-	}
 	for _, e := range edges {
-		if !seen[e] {
-			seen[e] = true
+		if seen.Add(e) {
 			uniq = append(uniq, e)
 			ge := g.Edge(e)
-			idOf(ge.U)
-			idOf(ge.V)
+			remap.Slot(ge.U)
+			remap.Slot(ge.V)
 		}
 	}
 	sort.Slice(uniq, func(a, b int) bool {
@@ -152,11 +146,11 @@ func localMST(g *graph.Graph, edges []graph.EdgeID) []graph.EdgeID {
 		}
 		return uniq[a] < uniq[b]
 	})
-	uf := graph.NewUnionFind(len(remap))
-	mst := make([]graph.EdgeID, 0, len(remap))
+	uf := graph.NewUnionFind(remap.Len())
+	mst := make([]graph.EdgeID, 0, remap.Len())
 	for _, e := range uniq {
 		ge := g.Edge(e)
-		if uf.Union(remap[ge.U], remap[ge.V]) {
+		if uf.Union(remap.Slot(ge.U), remap.Slot(ge.V)) {
 			mst = append(mst, e)
 		}
 	}
