@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench bench-json tables clean
+.PHONY: all build test check bench bench-json tables serve clean
 
 all: build
 
@@ -31,6 +31,11 @@ bench-json:
 # Regenerate the paper's tables and figures (slow).
 tables:
 	$(GO) run ./cmd/tables -all
+
+# Launch the routing service daemon locally (see README "Running the
+# service" for the submit/status/result curl examples).
+serve:
+	$(GO) run ./cmd/routed -addr :8080
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		ascii    = flag.Bool("ascii", false, "print an ASCII channel-utilization map")
 		list     = flag.Bool("list", false, "list available benchmark circuits")
 		useStats = flag.Bool("stats", false, "print router work counters (SSSP runs, rip-ups, congestion histogram)")
+		timeout  = flag.Duration("timeout", 0, "abandon the run after this long (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -108,10 +110,16 @@ func main() {
 			fmt.Print(col.Snapshot())
 		}
 	}
+	cc := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		cc, cancel = context.WithTimeout(cc, *timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
 	if *minW {
-		w, res, err := router.MinWidthCtx(ctx, ckt, spec.PaperIKMB, opts)
+		w, res, err := router.MinWidthContext(cc, ctx, ckt, spec.PaperIKMB, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -126,7 +134,7 @@ func main() {
 	if w == 0 {
 		w = spec.PaperIKMB
 	}
-	res, fab, err := router.RouteWithFabricCtx(ctx, ckt, w, opts)
+	res, fab, err := router.RouteWithFabricContext(cc, ctx, ckt, w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "routing failed: %v\n", err)
 		os.Exit(1)

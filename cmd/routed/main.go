@@ -1,0 +1,72 @@
+// Command routed is the routing service daemon: an HTTP JSON API over a
+// bounded job queue and a worker pool (see internal/service). Clients
+// submit routing jobs — a named paper circuit or an inline netlist, mode
+// "route" or "minwidth", router options and an optional deadline — then
+// poll status and fetch results.
+//
+// Usage:
+//
+//	routed -addr :8080 -workers 4 -queue 64 -grace 15s
+//
+//	curl -s localhost:8080/jobs -d '{"mode":"minwidth","circuit":"busc"}'
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s localhost:8080/jobs/job-000001/result
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, running
+// jobs drain under -grace, and whatever is still in flight afterwards is
+// canceled cooperatively.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpgarouter/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS capped at 4)")
+		queue   = flag.Int("queue", 64, "bounded job-queue depth")
+		grace   = flag.Duration("grace", 15*time.Second, "shutdown grace period for draining jobs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("routed: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("routed: shutting down (grace %v)\n", *grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	srv.Shutdown(graceCtx) // stop accepting; in-flight HTTP finishes
+	if err := svc.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("routed: grace period expired, in-flight jobs canceled")
+	}
+	fmt.Println("routed: drained")
+}

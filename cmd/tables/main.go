@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func main() {
 		segment  = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
 		useStats = flag.Bool("stats", false, "print aggregate router work counters after the sweeps")
 		benchOut = flag.String("bench-json", "", "run the router micro-benchmarks and write JSON results to this file")
+		timeout  = flag.Duration("timeout", 0, "abandon the table/figure sweeps after this long (0 = unbounded)")
 	)
 	flag.Parse()
 	if *benchOut != "" {
@@ -63,6 +65,11 @@ func main() {
 		}
 	}
 	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes}
+	if *timeout > 0 {
+		cc, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = cc
+	}
 	if *useStats {
 		cfg.Stats = stats.New()
 		defer func() { fmt.Print(cfg.Stats.Snapshot()) }()

@@ -199,7 +199,7 @@ func (g *generator) placeNet(id, k int) (Net, error) {
 	// the published minimum channel widths' scaling across the benchmark
 	// suite (busc at 12×13 up to z03 at 26×27 route within a few tracks
 	// of each other).
-	sigma := 2.0 + float64(maxInt(cols, rows))/20.0
+	sigma := 2.0 + float64(max(cols, rows))/20.0
 	if k <= 3 {
 		sigma *= 0.7 // 2–3 pin nets are the shortest in placed designs
 	}
@@ -217,8 +217,8 @@ func (g *generator) placeNet(id, k int) (Net, error) {
 		var bx, by int
 		if g.rng.Float64() < 0.88 {
 			// Local connection: Gaussian around the source.
-			bx = clampInt(sx+int(g.rng.NormFloat64()*sigma+0.5), 0, cols-1)
-			by = clampInt(sy+int(g.rng.NormFloat64()*sigma+0.5), 0, rows-1)
+			bx = min(max(sx+int(g.rng.NormFloat64()*sigma+0.5), 0), cols-1)
+			by = min(max(sy+int(g.rng.NormFloat64()*sigma+0.5), 0), rows-1)
 		} else {
 			// Global connection: uniform anywhere.
 			bx = g.rng.Intn(cols)
@@ -321,26 +321,11 @@ func (c *Circuit) PinHistogram() (n23, n410, nOver int) {
 	return
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
+// absInt is the one arithmetic helper the stdlib still lacks for ints
+// (max/min are builtins since Go 1.21; see nearestFreeBlock's ring walk).
 func absInt(a int) int {
 	if a < 0 {
 		return -a
 	}
 	return a
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }

@@ -127,18 +127,7 @@ func Parse(r io.Reader) (*Circuit, error) {
 	if ckt == nil {
 		return nil, fmt.Errorf("circuits: missing circuit header")
 	}
-	// Rebuild the histogram statistics from the parsed nets.
-	ckt.Nets2_3, ckt.Nets4_10, ckt.NetsOver10 = 0, 0, 0
-	for _, n := range ckt.Nets {
-		switch k := len(n.Pins); {
-		case k <= 3:
-			ckt.Nets2_3++
-		case k <= 10:
-			ckt.Nets4_10++
-		default:
-			ckt.NetsOver10++
-		}
-	}
+	ckt.rebuildHistogram()
 	return ckt, nil
 }
 

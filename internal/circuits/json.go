@@ -1,0 +1,103 @@
+package circuits
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fpgarouter/internal/fpga"
+)
+
+// The JSON wire format.
+//
+// This is the machine interface mirror of the line-oriented netlist text
+// format (io.go): cmd/routed accepts inline netlists in this shape, and
+// test fixtures use it for golden round trips. Pins reuse the text format's
+// "x,y,SIDE,index" tuple so both formats validate identically:
+//
+//	{
+//	  "name": "busc", "series": "3000", "cols": 12, "rows": 13,
+//	  "nets": [
+//	    {"id": 0, "pins": ["3,4,N,0", "5,4,S,1", "3,6,E,0"]},
+//	    {"id": 1, "pins": ["0,0,E,0", "1,1,W,0"]}
+//	  ]
+//	}
+//
+// Only the structural fields travel: published-width metadata of the Spec
+// (CGE, PaperIKMB, …) is dropped on encode, and the pin histogram is
+// rebuilt on decode, exactly as the text parser does.
+
+type circuitWire struct {
+	Name   string    `json:"name"`
+	Series string    `json:"series"`
+	Cols   int       `json:"cols"`
+	Rows   int       `json:"rows"`
+	Nets   []netWire `json:"nets"`
+}
+
+type netWire struct {
+	ID   int      `json:"id"`
+	Pins []string `json:"pins"`
+}
+
+// MarshalJSON encodes the circuit in the JSON wire format.
+func (c *Circuit) MarshalJSON() ([]byte, error) {
+	w := circuitWire{Name: c.Name, Series: "4000", Cols: c.Cols, Rows: c.Rows}
+	if c.Series == Series3000 {
+		w.Series = "3000"
+	}
+	w.Nets = make([]netWire, len(c.Nets))
+	for i, n := range c.Nets {
+		pins := make([]string, len(n.Pins))
+		for j, p := range n.Pins {
+			pins[j] = fmt.Sprintf("%d,%d,%s,%d", p.X, p.Y, p.Side, p.Index)
+		}
+		w.Nets[i] = netWire{ID: n.ID, Pins: pins}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a circuit from the JSON wire format, applying the
+// same validation as the text parser: a positive array size, every pin
+// inside the array, and at least two pins per net.
+func (c *Circuit) UnmarshalJSON(data []byte) error {
+	var w circuitWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	var series Series
+	switch w.Series {
+	case "3000":
+		series = Series3000
+	case "4000":
+		series = Series4000
+	default:
+		return fmt.Errorf("circuits: unknown series %q", w.Series)
+	}
+	if w.Cols < 1 || w.Rows < 1 {
+		return fmt.Errorf("circuits: bad array size %dx%d", w.Cols, w.Rows)
+	}
+	out := Circuit{Spec: Spec{Name: w.Name, Series: series, Cols: w.Cols, Rows: w.Rows}}
+	for _, nw := range w.Nets {
+		net := Net{ID: nw.ID, Pins: make([]fpga.Pin, 0, len(nw.Pins))}
+		for _, tok := range nw.Pins {
+			p, err := parsePin(tok, w.Cols, w.Rows)
+			if err != nil {
+				return fmt.Errorf("circuits: net %d: %w", nw.ID, err)
+			}
+			net.Pins = append(net.Pins, p)
+		}
+		if len(net.Pins) < 2 {
+			return fmt.Errorf("circuits: net %d has fewer than 2 pins", nw.ID)
+		}
+		out.Nets = append(out.Nets, net)
+	}
+	out.rebuildHistogram()
+	*c = out
+	return nil
+}
+
+// rebuildHistogram refreshes the Spec's pin-count statistics from the
+// actual nets (shared by the text parser and the JSON decoder).
+func (c *Circuit) rebuildHistogram() {
+	c.Nets2_3, c.Nets4_10, c.NetsOver10 = c.PinHistogram()
+}

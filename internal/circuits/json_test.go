@@ -1,0 +1,127 @@
+package circuits
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fpgarouter/internal/fpga"
+)
+
+// goldenCircuitJSON is the frozen wire-format encoding of a tiny
+// hand-built circuit. If this test breaks, the wire format changed — bump
+// service clients deliberately, don't just re-record.
+const goldenCircuitJSON = `{"name":"wiretest","series":"3000","cols":3,"rows":2,` +
+	`"nets":[{"id":0,"pins":["0,0,N,0","2,1,S,1","1,0,E,0"]},` +
+	`{"id":1,"pins":["0,1,W,2","2,0,N,1"]}]}`
+
+func goldenCircuit() *Circuit {
+	return &Circuit{
+		Spec: Spec{Name: "wiretest", Series: Series3000, Cols: 3, Rows: 2},
+		Nets: []Net{
+			{ID: 0, Pins: []fpga.Pin{
+				{X: 0, Y: 0, Side: fpga.North, Index: 0},
+				{X: 2, Y: 1, Side: fpga.South, Index: 1},
+				{X: 1, Y: 0, Side: fpga.East, Index: 0},
+			}},
+			{ID: 1, Pins: []fpga.Pin{
+				{X: 0, Y: 1, Side: fpga.West, Index: 2},
+				{X: 2, Y: 0, Side: fpga.North, Index: 1},
+			}},
+		},
+	}
+}
+
+func TestCircuitJSONGolden(t *testing.T) {
+	data, err := json.Marshal(goldenCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenCircuitJSON {
+		t.Fatalf("wire format drifted:\n got %s\nwant %s", data, goldenCircuitJSON)
+	}
+	var back Circuit
+	if err := json.Unmarshal([]byte(goldenCircuitJSON), &back); err != nil {
+		t.Fatal(err)
+	}
+	want := goldenCircuit()
+	if back.Name != want.Name || back.Series != want.Series || back.Cols != want.Cols || back.Rows != want.Rows {
+		t.Fatalf("header drifted: %+v", back.Spec)
+	}
+	if back.Nets2_3 != 2 || back.Nets4_10 != 0 || back.NetsOver10 != 0 {
+		t.Fatalf("histogram not rebuilt: %+v", back.Spec)
+	}
+	if len(back.Nets) != len(want.Nets) {
+		t.Fatalf("net count %d vs %d", len(back.Nets), len(want.Nets))
+	}
+	for i := range want.Nets {
+		if back.Nets[i].ID != want.Nets[i].ID {
+			t.Fatalf("net %d id %d vs %d", i, back.Nets[i].ID, want.Nets[i].ID)
+		}
+		for j, p := range want.Nets[i].Pins {
+			if back.Nets[i].Pins[j] != p {
+				t.Fatalf("net %d pin %d: %v vs %v", i, j, back.Nets[i].Pins[j], p)
+			}
+		}
+	}
+}
+
+// TestCircuitJSONRoundTripSynthesized: synthesize → encode → decode must
+// preserve every net and pin exactly, and re-encoding must be stable.
+func TestCircuitJSONRoundTripSynthesized(t *testing.T) {
+	ckt, err := Synthesize(Table2Circuits[0], 1) // busc
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Circuit
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nets) != len(ckt.Nets) {
+		t.Fatalf("net count %d vs %d", len(back.Nets), len(ckt.Nets))
+	}
+	for i := range ckt.Nets {
+		if back.Nets[i].ID != ckt.Nets[i].ID || len(back.Nets[i].Pins) != len(ckt.Nets[i].Pins) {
+			t.Fatalf("net %d shape drifted", i)
+		}
+		for j := range ckt.Nets[i].Pins {
+			if back.Nets[i].Pins[j] != ckt.Nets[i].Pins[j] {
+				t.Fatalf("net %d pin %d drifted", i, j)
+			}
+		}
+	}
+	h23, h410, hov := back.PinHistogram()
+	if h23 != back.Nets2_3 || h410 != back.Nets4_10 || hov != back.NetsOver10 {
+		t.Fatalf("decoded histogram inconsistent")
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding not stable")
+	}
+}
+
+func TestCircuitJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad series":   `{"name":"x","series":"5000","cols":3,"rows":3,"nets":[]}`,
+		"bad size":     `{"name":"x","series":"4000","cols":0,"rows":3,"nets":[]}`,
+		"bad pin":      `{"name":"x","series":"4000","cols":3,"rows":3,"nets":[{"id":0,"pins":["9,9,N,0","0,0,N,0"]}]}`,
+		"bad side":     `{"name":"x","series":"4000","cols":3,"rows":3,"nets":[{"id":0,"pins":["0,0,Q,0","1,1,N,0"]}]}`,
+		"one-pin net":  `{"name":"x","series":"4000","cols":3,"rows":3,"nets":[{"id":0,"pins":["0,0,N,0"]}]}`,
+		"not a struct": `[1,2,3]`,
+	}
+	for name, in := range cases {
+		var c Circuit
+		if err := json.Unmarshal([]byte(in), &c); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		} else if !strings.Contains(err.Error(), "circuits") && name != "not a struct" {
+			t.Errorf("%s: error %q lacks package prefix", name, err)
+		}
+	}
+}

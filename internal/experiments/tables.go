@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +28,10 @@ type RouterConfig struct {
 	// Stats, when non-nil, accumulates router work counters (SSSP runs,
 	// rip-ups, width probes, …) across every routing call of the sweep.
 	Stats *stats.Collector
+	// Ctx, when non-nil, bounds the sweep: its cancellation (cmd/tables
+	// -timeout) abandons in-flight routing at the router's pass/net
+	// boundaries with router.ErrCanceled.
+	Ctx context.Context
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -66,7 +72,7 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 	progress("min-width search: %s with %s (start %d)", spec.Name, alg, start)
 	ctx := router.NewContext(cfg.Stats)
 	defer ctx.Close()
-	w, res, err := router.MinWidthCtx(ctx, ckt, start, router.Options{
+	w, res, err := router.MinWidthContext(cfg.Ctx, ctx, ckt, start, router.Options{
 		Algorithm: alg,
 		MaxPasses: cfg.MaxPasses,
 	})
@@ -228,9 +234,12 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.RouteCtx(ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses})
+				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses})
 				if err != nil {
-					break
+					if errors.Is(err, router.ErrUnroutable) {
+						break
+					}
+					return rows, err // canceled or a hard failure: stop widening
 				}
 				results[alg] = res
 			}

@@ -7,10 +7,11 @@ import (
 
 // Tree is a routing solution: a set of edge IDs of the underlying graph that
 // forms a tree spanning a net, plus its total cost. Edge IDs refer to the
-// graph the solution was computed on.
+// graph the solution was computed on. The JSON tags define the service wire
+// format (a tree round-trips through encoding/json bit-identically).
 type Tree struct {
-	Edges []EdgeID
-	Cost  float64
+	Edges []EdgeID `json:"edges"`
+	Cost  float64  `json:"cost"`
 }
 
 // NewTree builds a Tree from edge IDs, computing the cost from g.

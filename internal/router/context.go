@@ -8,6 +8,10 @@
 package router
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/stats"
 )
@@ -23,6 +27,40 @@ type Context struct {
 	Stats *stats.Collector
 
 	scratch *graph.DijkstraScratch
+	// cc, when non-nil, is the cancellation signal checked cooperatively at
+	// pass and per-net boundaries. Bound per call by the *Context entry
+	// points (RouteContext, MinWidthContext); nil means never canceled.
+	cc context.Context
+}
+
+// ErrCanceled reports that a routing run was abandoned because its
+// context.Context was canceled or its deadline passed. Errors returned for
+// canceled runs match both ErrCanceled and the underlying cause
+// (context.Canceled or context.DeadlineExceeded) under errors.Is.
+var ErrCanceled = errors.New("router: canceled")
+
+// checkCanceled returns nil while the run may continue, or an error
+// wrapping ErrCanceled and the context's cause once cancellation is
+// requested. It is called at pass and per-net boundaries, and between
+// width-probe batches — never inside a single-net construction, so pooled
+// scratch is always quiescent when a run aborts.
+func (ctx *Context) checkCanceled() error {
+	if ctx == nil || ctx.cc == nil {
+		return nil
+	}
+	if err := ctx.cc.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// bind attaches cc as the context's cancellation signal, returning a
+// restore function for the previous binding. Workers rebind a long-lived
+// Context per job, keeping its pooled scratch across jobs.
+func (ctx *Context) bind(cc context.Context) func() {
+	prev := ctx.cc
+	ctx.cc = cc
+	return func() { ctx.cc = prev }
 }
 
 // NewContext returns a routing context backed by a pooled Dijkstra scratch,
@@ -41,10 +79,10 @@ func (ctx *Context) Close() {
 }
 
 // child derives a context for one worker goroutine of a parallel search:
-// its own scratch, the shared stats collector. Close it when the worker is
-// done.
+// its own scratch, the shared stats collector and cancellation signal.
+// Close it when the worker is done.
 func (ctx *Context) child() *Context {
-	return &Context{Stats: ctx.Stats, scratch: graph.AcquireScratch()}
+	return &Context{Stats: ctx.Stats, scratch: graph.AcquireScratch(), cc: ctx.cc}
 }
 
 // ensureContext returns ctx, or an ephemeral context plus its cleanup when

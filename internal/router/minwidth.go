@@ -8,6 +8,7 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -77,6 +78,20 @@ func probeBatch(ctx *Context, ckt *circuits.Circuit, ws []int, opts Options) []p
 	return out
 }
 
+// MinWidthContext is MinWidthCtx with cooperative cancellation: cc is
+// checked between probe batches, and every in-flight probe inherits it, so
+// a cancellation (or deadline) abandons the whole batch at the probes' next
+// pass/net boundary instead of letting width probes run to completion. The
+// returned error matches both ErrCanceled and cc's cause under errors.Is.
+// ctx may be nil; as in RouteContext it is bound to cc only for this call.
+func MinWidthContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, start int, opts Options) (int, *Result, error) {
+	ctx, done := ensureContext(ctx)
+	defer done()
+	restore := ctx.bind(cc)
+	defer restore()
+	return MinWidthCtx(ctx, ckt, start, opts)
+}
+
 // MinWidthCtx is MinWidth with an explicit routing context (nil for an
 // ephemeral one). The search brackets upward from start in parallel batches,
 // then refines downward in parallel batches; within each batch the probe
@@ -98,6 +113,9 @@ func MinWidthCtx(ctx *Context, ckt *circuits.Circuit, start int, opts Options) (
 	// an earlier width wins, matching the sequential search's first failure.
 grow:
 	for {
+		if err := ctx.checkCanceled(); err != nil {
+			return 0, nil, err
+		}
 		ws := make([]int, 0, par)
 		for x := w; x <= limit && len(ws) < par; x++ {
 			ws = append(ws, x)
@@ -124,6 +142,9 @@ grow:
 	// results downward from w-1; the first unroutable width stops the search
 	// exactly where the sequential walk stops.
 	for w > 1 {
+		if err := ctx.checkCanceled(); err != nil {
+			return 0, nil, err
+		}
 		lo := w - par
 		if lo < 1 {
 			lo = 1

@@ -11,6 +11,7 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,45 +52,46 @@ const Zero = -1
 
 // Options configures a routing run. The zero value is completed by
 // defaults: IKMB, 20 passes, bounding-box margin 2, congestion α = 1.
+// The JSON tags define the service wire format (cmd/routed job submissions).
 type Options struct {
 	// Algorithm selects the per-net tree construction (Alg* constants).
-	Algorithm string
+	Algorithm string `json:"algorithm,omitempty"`
 	// MaxPasses is the feasibility threshold: how many rip-up/re-route
 	// passes to attempt before declaring the width unroutable (paper: 20).
-	MaxPasses int
+	MaxPasses int `json:"max_passes,omitempty"`
 	// BBoxMargin widens the Steiner-candidate bounding box around each
 	// net's pins, in switch-block units. 0 selects the default (2); use
 	// Zero (or any negative value) for an explicit zero margin.
-	BBoxMargin int
+	BBoxMargin int `json:"bbox_margin,omitempty"`
 	// CongestionAlpha scales fabric congestion weighting. 0 selects the
 	// default (1.0); use Zero (or any negative value) to explicitly
 	// disable congestion weighting.
-	CongestionAlpha float64
+	CongestionAlpha float64 `json:"congestion_alpha,omitempty"`
 	// WidthProbes bounds how many channel widths MinWidth probes
 	// concurrently. 0 selects the default (the number of CPUs, capped at
 	// 8); 1 (or any negative value) forces one probe at a time. The
 	// search's outputs are identical at every setting.
-	WidthProbes int
+	WidthProbes int `json:"width_probes,omitempty"`
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
-	NoMoveToFront bool
+	NoMoveToFront bool `json:"no_move_to_front,omitempty"`
 	// Batched selects batched Steiner-point admission inside the iterated
 	// constructions (on by default in the router for speed; set
 	// SingleStep to force one-candidate-per-round).
-	SingleStep bool
+	SingleStep bool `json:"single_step,omitempty"`
 	// SegLens overrides the architecture's per-track wire segment lengths
 	// (nil keeps the circuit's default, single-length channels). See
 	// fpga.Arch.SegLens.
-	SegLens []int
+	SegLens []int `json:"seg_lens,omitempty"`
 	// CriticalNets lists net IDs classified as timing-critical by the
 	// upstream design stages (Section 2: "nets may be classified as either
 	// critical or non-critical based on timing information"). Critical
 	// nets are routed first, each with CriticalAlgorithm, so their
 	// source-sink paths are shortest on the freshest possible fabric; the
 	// rest use Algorithm.
-	CriticalNets []int
+	CriticalNets []int `json:"critical_nets,omitempty"`
 	// CriticalAlgorithm routes the critical nets (default AlgIDOM).
-	CriticalAlgorithm string
+	CriticalAlgorithm string `json:"critical_algorithm,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -133,23 +135,26 @@ func (o Options) criticalSet() map[int]bool {
 	return m
 }
 
-// NetResult records the routed tree and metrics for one net.
+// NetResult records the routed tree and metrics for one net. The JSON tags
+// define the service wire format (cmd/routed result retrieval).
 type NetResult struct {
-	Tree       graph.Tree
-	Wirelength float64 // base (uncongested) wirelength
-	MaxPath    float64 // max source-sink pathlength, base wirelength
+	Tree       graph.Tree `json:"tree"`
+	Wirelength float64    `json:"wirelength"` // base (uncongested) wirelength
+	MaxPath    float64    `json:"max_path"`   // max source-sink pathlength, base wirelength
 }
 
-// Result is the outcome of routing one circuit at one channel width.
+// Result is the outcome of routing one circuit at one channel width. The
+// JSON tags define the service wire format; a Result round-trips through
+// encoding/json bit-identically (see the wire-format tests).
 type Result struct {
-	Routed     bool
-	Width      int
-	Passes     int     // passes consumed (including the successful one)
-	Wirelength float64 // total base wirelength over all nets
-	MaxPathSum float64 // sum over nets of max source-sink pathlength
-	MaxUtil    int     // maximum wires claimed in any channel span
-	Nets       []NetResult
-	FailedNets []int // net IDs that failed in the last attempted pass
+	Routed     bool        `json:"routed"`
+	Width      int         `json:"width"`
+	Passes     int         `json:"passes"`       // passes consumed (including the successful one)
+	Wirelength float64     `json:"wirelength"`   // total base wirelength over all nets
+	MaxPathSum float64     `json:"max_path_sum"` // sum over nets of max source-sink pathlength
+	MaxUtil    int         `json:"max_util"`     // maximum wires claimed in any channel span
+	Nets       []NetResult `json:"nets"`
+	FailedNets []int       `json:"failed_nets,omitempty"` // net IDs that failed in the last attempted pass
 }
 
 // Route attempts to route every net of the circuit at channel width w.
@@ -167,11 +172,32 @@ func RouteCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result
 	return res, err
 }
 
+// RouteContext is RouteCtx with cooperative cancellation: the run checks cc
+// at pass and per-net boundaries and aborts with an error matching both
+// ErrCanceled and cc's cause (context.Canceled or context.DeadlineExceeded)
+// under errors.Is. ctx may be nil for an ephemeral routing context; it is
+// bound to cc only for the duration of the call, so a worker can reuse one
+// long-lived routing context across jobs with per-job cancellation.
+func RouteContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
+	res, _, err := RouteWithFabricContext(cc, ctx, ckt, w, opts)
+	return res, err
+}
+
 // RouteWithFabric is Route but also returns the fabric in its final state
 // (with the successful pass's nets committed), for rendering and
 // utilization analysis.
 func RouteWithFabric(ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga.Fabric, error) {
 	return RouteWithFabricCtx(nil, ckt, w, opts)
+}
+
+// RouteWithFabricContext is RouteWithFabricCtx with cooperative
+// cancellation (see RouteContext).
+func RouteWithFabricContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result, *fpga.Fabric, error) {
+	ctx, done := ensureContext(ctx)
+	defer done()
+	restore := ctx.bind(cc)
+	defer restore()
+	return RouteWithFabricCtx(ctx, ckt, w, opts)
 }
 
 // RouteWithFabricCtx is RouteWithFabric with an explicit routing context.
@@ -219,6 +245,9 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 	res := &Result{Width: fab.W, Nets: make([]NetResult, len(ckt.Nets))}
 	st := ctx.Stats
 	for pass := 1; pass <= opts.MaxPasses; pass++ {
+		if err := ctx.checkCanceled(); err != nil {
+			return nil, err
+		}
 		res.Passes = pass
 		st.AddPass()
 		fab.Reset()
@@ -232,6 +261,9 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 		var failed []int
 		ok := true
 		for _, idx := range order {
+			if err := ctx.checkCanceled(); err != nil {
+				return nil, err
+			}
 			// This net is being routed now: release its reservations so
 			// they do not repel its own route.
 			for _, p := range ckt.Nets[idx].Pins {

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/router"
+)
+
+// Mode selects what a job computes.
+type Mode string
+
+const (
+	// ModeRoute routes the circuit at one channel width.
+	ModeRoute Mode = "route"
+	// ModeMinWidth searches the minimum routable channel width.
+	ModeMinWidth Mode = "minwidth"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued → running → {done, failed, canceled}, except that a queued job
+// canceled before a worker picks it up goes straight to canceled.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions are possible.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SubmitRequest is the POST /jobs body. Exactly one of Circuit (a named
+// paper benchmark, synthesized server-side with Seed) or Netlist (an inline
+// circuit in the JSON wire format of internal/circuits) must be given.
+type SubmitRequest struct {
+	// Mode is "route" or "minwidth".
+	Mode Mode `json:"mode"`
+	// Circuit names a paper benchmark circuit (see fpgaroute -list).
+	Circuit string `json:"circuit,omitempty"`
+	// Seed is the synthesis seed for a named circuit (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Netlist is an inline circuit in the JSON wire format.
+	Netlist *circuits.Circuit `json:"netlist,omitempty"`
+	// Width is the channel width for mode "route" (0 = the paper's best
+	// known width for named circuits).
+	Width int `json:"width,omitempty"`
+	// StartWidth seeds the search for mode "minwidth" (0 = the paper's
+	// best known width, falling back to the search default).
+	StartWidth int `json:"start_width,omitempty"`
+	// TimeoutMs bounds the job's execution time, measured from the moment
+	// a worker starts it; past the deadline the run is abandoned at the
+	// next pass/net boundary and the job ends canceled. 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Options configures the router (JSON tags on router.Options).
+	Options router.Options `json:"options"`
+}
+
+// Status is the GET /jobs/{id} body (and the POST /jobs response).
+type Status struct {
+	ID          string     `json:"id"`
+	Mode        Mode       `json:"mode"`
+	Circuit     string     `json:"circuit"`
+	State       State      `json:"state"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	// Width is the routed (or minimum) channel width once the job is done.
+	Width int `json:"width,omitempty"`
+}
+
+// ResultResponse is the GET /jobs/{id}/result body.
+type ResultResponse struct {
+	ID     string         `json:"id"`
+	Mode   Mode           `json:"mode"`
+	Width  int            `json:"width"`
+	Result *router.Result `json:"result"`
+}
+
+// Job is one queued or executing routing request. The circuit is resolved
+// at submit time so malformed requests fail synchronously with a 400.
+type Job struct {
+	id      string
+	mode    Mode
+	ckt     *circuits.Circuit
+	opts    router.Options
+	width   int // route mode: channel width; minwidth mode: start width
+	timeout time.Duration
+
+	ctx    context.Context // canceled by Cancel, shutdown, or job timeout
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *router.Result
+	outWidth  int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// resolveJob validates a submit request into a runnable job (without ID or
+// cancellation plumbing, which the service attaches on admission).
+func resolveJob(req *SubmitRequest) (*Job, error) {
+	if req.Mode != ModeRoute && req.Mode != ModeMinWidth {
+		return nil, fmt.Errorf("mode must be %q or %q", ModeRoute, ModeMinWidth)
+	}
+	if (req.Circuit == "") == (req.Netlist == nil) {
+		return nil, errors.New("exactly one of circuit or netlist must be given")
+	}
+	if req.TimeoutMs < 0 {
+		return nil, errors.New("timeout_ms must be non-negative")
+	}
+	job := &Job{
+		mode:    req.Mode,
+		opts:    req.Options,
+		timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		state:   StateQueued,
+	}
+	paperBest := 0
+	if req.Netlist != nil {
+		if len(req.Netlist.Nets) == 0 {
+			return nil, errors.New("netlist has no nets")
+		}
+		job.ckt = req.Netlist
+	} else {
+		spec, ok := circuits.SpecByName(req.Circuit)
+		if !ok {
+			return nil, fmt.Errorf("unknown circuit %q", req.Circuit)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		ckt, err := circuits.Synthesize(spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		job.ckt = ckt
+		paperBest = spec.PaperIKMB
+	}
+	switch req.Mode {
+	case ModeRoute:
+		job.width = req.Width
+		if job.width <= 0 {
+			job.width = paperBest
+		}
+		if job.width <= 0 {
+			return nil, errors.New("width must be given for inline netlists in mode route")
+		}
+	case ModeMinWidth:
+		job.width = req.StartWidth
+		if job.width <= 0 {
+			job.width = paperBest // 0 falls through to MinWidth's default start
+		}
+	}
+	return job, nil
+}
+
+// Cancel requests cooperative cancellation: a queued job flips to canceled
+// immediately; a running job's router run aborts at its next pass/net
+// boundary and the worker records the canceled state.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = "canceled before execution"
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// begin transitions queued → running; it reports false if the job was
+// already canceled (the worker then skips it).
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the run's outcome, classifying cancellation (including
+// deadline expiry) separately from routing failure.
+func (j *Job) finish(width int, res *router.Result, err error) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.outWidth = width
+		j.result = res
+	case errors.Is(err, router.ErrCanceled), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	return j.state
+}
+
+// StateNow returns the job's current lifecycle state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		Mode:        j.mode,
+		Circuit:     j.ckt.Name,
+		State:       j.state,
+		SubmittedAt: j.submitted,
+		Error:       j.err,
+		Width:       j.outWidth,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Result returns the routing result once the job is done.
+func (j *Job) Result() (ResultResponse, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return ResultResponse{}, fmt.Errorf("job %s is %s, not %s", j.id, j.state, StateDone)
+	}
+	return ResultResponse{ID: j.id, Mode: j.mode, Width: j.outWidth, Result: j.result}, nil
+}

@@ -1,0 +1,261 @@
+// Package service turns the router library into a servable system: an HTTP
+// JSON API over a bounded job queue and a worker pool. Each worker owns one
+// long-lived router.Context, so the pooled SSSP scratch of PR 1 is reused
+// across jobs instead of per call; each job carries its own
+// context.Context, so cancellation (explicit, deadline, or shutdown) aborts
+// a run cooperatively at the router's pass/net boundaries.
+//
+// Lifecycle: Submit admits a job (rejecting when the queue is full or the
+// service is draining), workers pull jobs in FIFO order, and Shutdown stops
+// admissions, drains queued and running jobs, and — once the caller's grace
+// context expires — cancels whatever is still in flight.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpgarouter/internal/router"
+	"fpgarouter/internal/stats"
+)
+
+// Config sizes the service. The zero value is completed with defaults.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS, capped at 4 —
+	// each worker's MinWidth search is itself parallel).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; beyond it
+	// submissions are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// Stats receives router work counters from every worker (default: a
+	// fresh collector, exposed at /metrics).
+	Stats *stats.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = min(runtime.GOMAXPROCS(0), 4)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Stats == nil {
+		c.Stats = stats.New()
+	}
+	return c
+}
+
+// Submission failure modes, distinguished so the HTTP layer can map them to
+// 503 (retryable) versus 400 (bad request).
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
+)
+
+// Service is a running routing service: worker pool, bounded queue, and
+// job registry. Create with New, serve via Handler, stop with Shutdown.
+type Service struct {
+	cfg   Config
+	stats *stats.Collector
+
+	base       context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	seq      int64
+	draining bool
+	queue    chan *Job
+
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed [3]atomic.Int64 // done, failed, canceled
+}
+
+// indices into Service.completed.
+const (
+	cDone = iota
+	cFailed
+	cCanceled
+)
+
+// New starts a service: the queue is allocated and the workers spawn
+// immediately, each owning a long-lived router.Context bound to the shared
+// stats collector.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		stats:      cfg.Stats,
+		base:       base,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Stats returns the collector shared by all workers.
+func (s *Service) Stats() *stats.Collector { return s.stats }
+
+// Submit validates and admits a routing job, returning its queued status.
+// It fails with ErrDraining after Shutdown began, ErrQueueFull when the
+// bounded queue has no room, and a validation error for bad requests.
+func (s *Service) Submit(req *SubmitRequest) (Status, error) {
+	job, err := resolveJob(req)
+	if err != nil {
+		return Status{}, err
+	}
+	job.ctx, job.cancel = context.WithCancel(s.base)
+	job.submitted = time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return Status{}, ErrDraining
+	}
+	s.seq++
+	job.id = fmt.Sprintf("job-%06d", s.seq)
+	select {
+	case s.queue <- job:
+	default:
+		s.seq--
+		s.rejected.Add(1)
+		return Status{}, ErrQueueFull
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.submitted.Add(1)
+	return job.Status(), nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	return out
+}
+
+// Cancel cancels a job by ID, reporting whether it exists.
+func (s *Service) Cancel(id string) (Status, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return Status{}, false
+	}
+	j.Cancel()
+	return j.Status(), true
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops admissions and waits for queued and running jobs to
+// finish. When ctx expires first (the grace period), every outstanding job
+// is canceled cooperatively and Shutdown still waits for the workers to
+// acknowledge before returning ctx's error. It is safe to call once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: Shutdown called twice")
+	}
+	s.draining = true
+	close(s.queue) // safe: sends happen under mu with draining=false
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // grace expired: cancel in-flight and queued jobs
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker is one pool goroutine: it owns a router.Context for its lifetime
+// (pooled scratch reused across jobs) and executes queued jobs until the
+// queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	rc := router.NewContext(s.stats)
+	defer rc.Close()
+	for job := range s.queue {
+		s.run(rc, job)
+	}
+}
+
+// run executes one job on the worker's routing context.
+func (s *Service) run(rc *router.Context, job *Job) {
+	if !job.begin() {
+		// Canceled while queued (explicitly or by shutdown's grace expiry).
+		s.completed[cCanceled].Add(1)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	cc := job.ctx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		cc, cancel = context.WithTimeout(cc, job.timeout)
+		defer cancel()
+	}
+	var (
+		res   *router.Result
+		width int
+		err   error
+	)
+	switch job.mode {
+	case ModeRoute:
+		res, err = router.RouteContext(cc, rc, job.ckt, job.width, job.opts)
+		if res != nil {
+			width = res.Width
+		}
+	case ModeMinWidth:
+		width, res, err = router.MinWidthContext(cc, rc, job.ckt, job.width, job.opts)
+	}
+	switch job.finish(width, res, err) {
+	case StateDone:
+		s.completed[cDone].Add(1)
+	case StateFailed:
+		s.completed[cFailed].Add(1)
+	default:
+		s.completed[cCanceled].Add(1)
+	}
+}

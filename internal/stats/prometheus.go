@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes the snapshot's counters in the Prometheus text
+// exposition format, each metric name prefixed with prefix (for example
+// "fpgarouter"). The service's /metrics endpoint (cmd/routed) composes this
+// with its own job-queue gauges; it is equally usable for ad-hoc scraping
+// of a batch run.
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	counter("sssp_runs_total", "Dijkstra executions.", s.SSSPRuns)
+	counter("heap_pushes_total", "Dijkstra heap insertions.", s.HeapPushes)
+	counter("nets_routed_total", "Successful single-net routes.", s.NetsRouted)
+	counter("net_failures_total", "Failed single-net route attempts.", s.NetFailures)
+	counter("passes_total", "Rip-up/re-route passes.", s.Passes)
+	counter("ripups_total", "Nets ripped up after failed passes.", s.RipUps)
+	counter("width_probes_total", "Route calls issued by channel-width searches.", s.WidthProbes)
+	counter("candidate_evals_total", "Steiner-candidate evaluations.", s.CandidateEvals)
+	counter("steiner_points_total", "Steiner points admitted.", s.SteinerPoints)
+
+	fmt.Fprintf(w, "# HELP %s_net_time_seconds_total Cumulative single-net routing time.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_net_time_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_net_time_seconds_total %g\n", prefix, s.NetTime.Seconds())
+	fmt.Fprintf(w, "# HELP %s_net_time_max_seconds Slowest single-net route observed.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_net_time_max_seconds gauge\n", prefix)
+	fmt.Fprintf(w, "%s_net_time_max_seconds %g\n", prefix, s.MaxNetTime.Seconds())
+
+	fmt.Fprintf(w, "# HELP %s_span_utilization_spans Channel spans binned by utilization decile at final fabric states.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_span_utilization_spans counter\n", prefix)
+	for i, n := range s.Congestion {
+		fmt.Fprintf(w, "%s_span_utilization_spans{decile=\"%d\"} %d\n", prefix, i, n)
+	}
+}

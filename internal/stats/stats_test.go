@@ -121,3 +121,29 @@ func TestSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotWritePrometheus(t *testing.T) {
+	c := New()
+	c.AddSSSP(12, 345)
+	c.AddPass()
+	c.AddWidthProbe()
+	c.ObserveNet(1500*time.Microsecond, true)
+	c.RecordCongestion([]int32{0, 5, 10}, 10)
+	var b strings.Builder
+	c.Snapshot().WritePrometheus(&b, "fpgarouter")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fpgarouter_sssp_runs_total counter",
+		"fpgarouter_sssp_runs_total 12",
+		"fpgarouter_heap_pushes_total 345",
+		"fpgarouter_passes_total 1",
+		"fpgarouter_width_probes_total 1",
+		"fpgarouter_net_time_seconds_total 0.0015",
+		`fpgarouter_span_utilization_spans{decile="0"} 1`,
+		`fpgarouter_span_utilization_spans{decile="9"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
