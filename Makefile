@@ -22,7 +22,7 @@ check:
 
 # Router micro-benchmarks (human-readable).
 bench:
-	$(GO) test -bench 'IKMB_|MinWidth' -benchmem -run '^$$' .
+	$(GO) test -bench 'IKMB_|MinWidth|CandidateScan' -benchmem -run '^$$' .
 
 # Machine-readable benchmark results for cross-commit comparison.
 bench-json:

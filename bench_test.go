@@ -339,6 +339,35 @@ func BenchmarkIKMB_Unpooled(b *testing.B) {
 	}
 }
 
+// BenchmarkCandidateScan measures the iterated template's candidate-scan
+// round at fixed worker counts on a denser instance (|V| = 400, |N| = 8,
+// full-graph pool) where one round carries enough base-heuristic work for
+// sharding to matter. Seq (workers=1) is the regression oracle the parallel
+// scan is guaranteed bit-identical to; interpret the pair together with the
+// GOMAXPROCS it ran under.
+func BenchmarkCandidateScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(rng, 400, 3000, 10)
+	net := graph.RandomNet(rng, g, 8)
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"Seq", 1}, {"Par", 8}} {
+		b.Run(c.name, func(b *testing.B) {
+			s := graph.NewDijkstraScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache := graph.NewSPTCache(g).WithScratch(s)
+				if _, _, err := core.IGMSTStats(cache, net, steiner.KMB, core.Options{Workers: c.workers}); err != nil {
+					b.Fatal(err)
+				}
+				cache.Release()
+			}
+		})
+	}
+}
+
 // BenchmarkMinWidthParallel measures the concurrent minimum-width search on
 // the smallest Table 2 circuit; BenchmarkMinWidthSeq is the sequential
 // reference it is guaranteed to agree with.

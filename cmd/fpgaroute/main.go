@@ -40,6 +40,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available benchmark circuits")
 		useStats = flag.Bool("stats", false, "print router work counters (SSSP runs, rip-ups, congestion histogram)")
 		timeout  = flag.Duration("timeout", 0, "abandon the run after this long (0 = unbounded)")
+		workers  = flag.Int("cand-workers", 0, "candidate-scan worker goroutines per net (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -87,7 +88,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	opts := router.Options{Algorithm: *alg, MaxPasses: *passes}
+	opts := router.Options{Algorithm: *alg, MaxPasses: *passes, CandidateWorkers: *workers}
 	if *critical != "" {
 		for _, tok := range strings.Split(*critical, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(tok))

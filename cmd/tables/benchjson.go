@@ -18,15 +18,21 @@ import (
 	"fpgarouter/internal/core"
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/router"
+	"fpgarouter/internal/steiner"
 )
 
 // BenchResult is one benchmark's outcome in the emitted JSON file.
+// GoMaxProcs is recorded per entry — not just in the file header — because
+// the parallel benchmarks' numbers are meaningless without the hardware
+// parallelism they ran under, and entries from different runs get merged
+// into comparison sheets.
 type BenchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 }
 
 // benchFile is the emitted document: results plus enough provenance to
@@ -45,8 +51,22 @@ func benchInstance(seed int64) (*graph.Graph, []graph.NodeID) {
 	return g, graph.RandomNet(rng, g, 5)
 }
 
-func writeBenchJSON(path string) error {
+// scanInstance is a denser instance sized so one IGMST candidate-scan round
+// does enough base-heuristic work for sharding to be visible (|V| = 400,
+// |E| = 3000, |N| = 8, full-graph candidate pool).
+func scanInstance(seed int64) (*graph.Graph, []graph.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(rng, 400, 3000, 10)
+	return g, graph.RandomNet(rng, g, 8)
+}
+
+// writeBenchJSON runs the tracked micro-benchmarks and writes path. quick
+// skips the whole-circuit benchmarks (minimum-width searches and full busc
+// routes), leaving a CI-smoke-sized subset that still exercises the pooled
+// cache and the parallel candidate scan.
+func writeBenchJSON(path string, quick bool) error {
 	g, net := benchInstance(1)
+	sg, snet := scanInstance(2)
 	spec, ok := circuits.SpecByName("busc")
 	if !ok {
 		return fmt.Errorf("bench-json: circuit busc not registered")
@@ -56,10 +76,38 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	mwOpts := router.Options{MaxPasses: 6}
-	benches := []struct {
+	// benchScan measures the iterated template end-to-end at a fixed worker
+	// count; the Seq/Par pair isolates the candidate-scan parallelization
+	// (identical work, identical results, different fan-out).
+	benchScan := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := graph.NewDijkstraScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cache := graph.NewSPTCache(sg).WithScratch(s)
+				if _, _, err := core.IGMSTStats(cache, snet, steiner.KMB, core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+				cache.Release()
+			}
+		}
+	}
+	// benchRoute measures the full router on busc at the paper's width.
+	benchRoute := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := router.Route(ckt, spec.PaperIKMB, router.Options{MaxPasses: 6, CandidateWorkers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	type bench struct {
 		name string
 		fn   func(b *testing.B)
-	}{
+	}
+	benches := []bench{
 		{"BenchmarkIKMB_Pooled", func(b *testing.B) {
 			s := graph.NewDijkstraScratch()
 			b.ReportAllocs()
@@ -79,22 +127,42 @@ func writeBenchJSON(path string) error {
 				}
 			}
 		}},
-		{"BenchmarkMinWidthParallel", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := router.MinWidth(ckt, 7, mwOpts); err != nil {
-					b.Fatal(err)
+		{"BenchmarkCandidateScanSeq", benchScan(1)},
+		{"BenchmarkCandidateScanPar", benchScan(8)},
+	}
+	if !quick {
+		benches = append(benches,
+			bench{"BenchmarkRouteBuscSeq", benchRoute(1)},
+			bench{"BenchmarkRouteBuscPar", benchRoute(8)},
+			bench{"BenchmarkMinWidthParallel", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := router.MinWidth(ckt, 7, mwOpts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		}},
-		{"BenchmarkMinWidthSeq", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := router.MinWidthSeq(nil, ckt, 7, mwOpts); err != nil {
-					b.Fatal(err)
+			}},
+			bench{"BenchmarkMinWidthSeq", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := router.MinWidthSeq(nil, ckt, 7, mwOpts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		}},
+			}},
+		)
+	}
+	// Warm-up. The first testing.Benchmark in a fresh process measures a few
+	// percent slow: the GC heap is still growing toward its steady state, so
+	// the earliest iterations pay extra collections. Unwarmed, this showed up
+	// as a phantom ~4% gap between IKMB_Pooled and IKMB_Unpooled — whichever
+	// ran first lost (under `go test -bench` the pooled variant is
+	// consistently the faster one). Burn the same workload first so every
+	// entry measures against a settled heap.
+	for i := 0; i < 300; i++ {
+		if _, err := core.IKMB(graph.NewSPTCache(g), net); err != nil {
+			return err
+		}
 	}
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -109,6 +177,7 @@ func writeBenchJSON(path string) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -39,12 +39,14 @@ func main() {
 		tradeoff = flag.Bool("tradeoff", false, "run the BRBC / Prim-Dijkstra trade-off study (Section 2 comparison)")
 		segment  = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
 		useStats = flag.Bool("stats", false, "print aggregate router work counters after the sweeps")
-		benchOut = flag.String("bench-json", "", "run the router micro-benchmarks and write JSON results to this file")
-		timeout  = flag.Duration("timeout", 0, "abandon the table/figure sweeps after this long (0 = unbounded)")
+		benchOut   = flag.String("bench-json", "", "run the router micro-benchmarks and write JSON results to this file")
+		benchQuick = flag.Bool("bench-quick", false, "with -bench-json: skip the whole-circuit benchmarks (CI smoke subset)")
+		timeout    = flag.Duration("timeout", 0, "abandon the table/figure sweeps after this long (0 = unbounded)")
+		workers    = flag.Int("cand-workers", 0, "candidate-scan worker goroutines per net (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 	)
 	flag.Parse()
 	if *benchOut != "" {
-		if err := writeBenchJSON(*benchOut); err != nil {
+		if err := writeBenchJSON(*benchOut, *benchQuick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -64,7 +66,7 @@ func main() {
 			*passes = 8
 		}
 	}
-	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes}
+	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes, CandidateWorkers: *workers}
 	if *timeout > 0 {
 		cc, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -68,20 +68,26 @@ func MaxDom(cache *graph.SPTCache, n0, p, q graph.NodeID) graph.NodeID {
 	return best
 }
 
-// checkNet validates the net and returns the source SPT.
+// checkNet validates the net and returns the source SPT. Like
+// steiner.CheckNet it runs once per base-heuristic evaluation (DOM is the
+// IDOM candidate scan's inner loop), so the duplicate check uses the
+// cache's pooled node set; the range check comes first because the set
+// indexes by pin ID.
 func checkNet(cache *graph.SPTCache, net []graph.NodeID) (*graph.SPT, error) {
 	if len(net) == 0 {
 		return nil, errors.New("arbor: empty net")
 	}
-	seen := make(map[graph.NodeID]bool, len(net))
+	n := cache.Graph().NumNodes()
 	for _, v := range net {
-		if v < 0 || int(v) >= cache.Graph().NumNodes() {
+		if v < 0 || int(v) >= n {
 			return nil, fmt.Errorf("arbor: pin %d out of range", v)
 		}
-		if seen[v] {
+	}
+	seen := cache.NodeSet()
+	for _, v := range net {
+		if !seen.Add(v) {
 			return nil, fmt.Errorf("arbor: duplicate pin %d", v)
 		}
-		seen[v] = true
 	}
 	src := cache.Tree(net[0])
 	for _, v := range net[1:] {

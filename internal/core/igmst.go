@@ -11,6 +11,8 @@
 package core
 
 import (
+	"time"
+
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/steiner"
 )
@@ -37,6 +39,14 @@ type Options struct {
 	// "batches based on a non-interference criterion" variant of Section 3
 	// (after Kahng & Robins); typical instances converge in ≤ 3 rounds.
 	Batched bool
+	// Workers bounds the fan-out of each candidate-scan round: candidates
+	// are sharded over this many goroutines, each evaluating H against its
+	// own fork of the (frozen) shortest-paths cache. 0 selects the default
+	// (GOMAXPROCS capped at 8); 1 or any negative value selects the inline
+	// sequential scan, kept as the regression oracle. Results are
+	// bit-identical at every setting: evaluations are reduced in pool order
+	// with the sequential tie-break.
+	Workers int
 }
 
 // Stats reports work performed by an iterated construction, for the
@@ -45,6 +55,20 @@ type Stats struct {
 	Rounds       int // candidate-scan rounds performed
 	Evaluations  int // calls to the base heuristic H
 	PointsChosen int // Steiner points admitted into S
+	// ParallelScans counts scan rounds that actually fanned out over more
+	// than one worker goroutine.
+	ParallelScans int
+	// ScanWall and ScanCPU split the parallel scans' cost: total wall-clock
+	// across rounds versus summed per-worker busy time. Their ratio is the
+	// achieved scan parallelism (1.0 on a single hardware thread).
+	ScanWall time.Duration
+	ScanCPU  time.Duration
+	// WorkerSSSPRuns and WorkerHeapPushes count Dijkstra work performed
+	// inside worker forks during parallel scans. It bypasses the caller's
+	// scratch, whose counter deltas the router feeds to its stats layer, so
+	// the router adds these separately.
+	WorkerSSSPRuns   int64
+	WorkerHeapPushes int64
 }
 
 // IGMST runs the iterated template of Figure 5 over base heuristic H.
@@ -83,9 +107,16 @@ func IGMSTStats(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, 
 	}
 	pool := candidatePool(cache.Graph(), opts.Candidates)
 	spanned := append([]graph.NodeID(nil), net...) // N ∪ S
+	// The scanner owns the per-worker forks of the cache (sequential when
+	// Workers resolves to 1). Between scans the cache is mutated freely —
+	// admissions cache new established trees — because the forks are only
+	// ever read inside scan, never concurrently with an admission.
+	sc := newScanner(cache, H, opts)
+	defer sc.close()
 
 	for {
 		st.Rounds++
+		evals := sc.scan(&st, spanned, inNS, pool)
 		if opts.Batched {
 			admitted := false
 			// Rank all improving candidates by savings against the round's
@@ -95,17 +126,12 @@ func IGMSTStats(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, 
 				gain float64
 			}
 			var cands []cand
-			for _, t := range pool {
-				if inNS[t] {
+			for _, ev := range evals {
+				if ev.err != nil {
 					continue
 				}
-				sol, err := H(cache, append(spanned, t))
-				st.Evaluations++
-				if err != nil {
-					continue
-				}
-				if g := best.Cost - sol.Cost; g > gainEps {
-					cands = append(cands, cand{t, g})
+				if g := best.Cost - ev.sol.Cost; g > gainEps {
+					cands = append(cands, cand{ev.t, g})
 				}
 			}
 			sortCands(cands, func(a, b cand) bool {
@@ -115,7 +141,7 @@ func IGMSTStats(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, 
 				return a.t < b.t
 			})
 			for _, c := range cands {
-				sol, err := H(cache, append(spanned, c.t))
+				sol, err := H(cache, withTerm(&sc.termBuf, spanned, c.t))
 				st.Evaluations++
 				if err != nil {
 					continue
@@ -139,21 +165,16 @@ func IGMSTStats(cache *graph.SPTCache, net []graph.NodeID, H steiner.Heuristic, 
 			bestGain := 0.0
 			bestT := graph.None
 			var bestSol graph.Tree
-			for _, t := range pool {
-				if inNS[t] {
+			for _, ev := range evals {
+				if ev.err != nil {
 					continue
 				}
-				sol, err := H(cache, append(spanned, t))
-				st.Evaluations++
-				if err != nil {
-					continue
-				}
-				// Strict improvement over the best gain so far; the pool is
-				// scanned in deterministic order, so ties keep the first hit.
-				if g := best.Cost - sol.Cost; g > bestGain+gainEps {
+				// Strict improvement over the best gain so far; evals are in
+				// deterministic pool order, so ties keep the first hit.
+				if g := best.Cost - ev.sol.Cost; g > bestGain+gainEps {
 					bestGain = g
-					bestT = t
-					bestSol = sol
+					bestT = ev.t
+					bestSol = ev.sol
 				}
 			}
 			if bestT == graph.None {

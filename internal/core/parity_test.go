@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// TestParallelScanParity asserts the tentpole guarantee: IGMSTStats produces
+// bit-identical trees and identical work counters at every Workers setting,
+// for every base heuristic the router instantiates, in both admission modes.
+// Run under -race this also proves the worker forks share no mutable state.
+func TestParallelScanParity(t *testing.T) {
+	bases := []struct {
+		name string
+		H    steiner.Heuristic
+	}{
+		{"kmb", steiner.KMB},
+		{"sph", steiner.SPH},
+		{"zel", steiner.ZEL},
+		{"dom", arbor.DOM},
+	}
+	for _, seed := range []int64{3, 17} {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, 80, 400, 10)
+		net := graph.RandomNet(rng, g, 6)
+		for _, base := range bases {
+			for _, batched := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/seed%d/batched=%v", base.name, seed, batched), func(t *testing.T) {
+					run := func(workers int) (graph.Tree, Stats) {
+						cache := graph.NewSPTCache(g)
+						defer cache.Release()
+						tree, st, err := IGMSTStats(cache, net, base.H, Options{Batched: batched, Workers: workers})
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						return tree, st
+					}
+					refTree, refStats := run(1)
+					for _, w := range []int{0, 2, 3, 5, 8} {
+						tree, st := run(w)
+						if !reflect.DeepEqual(tree, refTree) {
+							t.Fatalf("workers=%d tree diverges from sequential:\n got %+v\nwant %+v", w, tree, refTree)
+						}
+						// Scan bookkeeping must match exactly; the parallel
+						// timing/fan-out fields are the only allowed deltas.
+						if st.Rounds != refStats.Rounds || st.Evaluations != refStats.Evaluations || st.PointsChosen != refStats.PointsChosen {
+							t.Fatalf("workers=%d stats {%d %d %d}, sequential {%d %d %d}",
+								w, st.Rounds, st.Evaluations, st.PointsChosen,
+								refStats.Rounds, refStats.Evaluations, refStats.PointsChosen)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScanWorkersResolution pins the Options.Workers contract: 0 is the
+// parallel default, anything below 1 is the sequential oracle.
+func TestScanWorkersResolution(t *testing.T) {
+	if w := scanWorkers(Options{Workers: -3}); w != 1 {
+		t.Fatalf("Workers=-3 resolved to %d, want 1", w)
+	}
+	if w := scanWorkers(Options{Workers: 1}); w != 1 {
+		t.Fatalf("Workers=1 resolved to %d, want 1", w)
+	}
+	if w := scanWorkers(Options{Workers: 5}); w != 5 {
+		t.Fatalf("Workers=5 resolved to %d, want 5", w)
+	}
+	if w := scanWorkers(Options{}); w < 1 || w > maxScanWorkers {
+		t.Fatalf("Workers=0 resolved to %d, want 1..%d", w, maxScanWorkers)
+	}
+}
+
+// TestWithTermNeverAliases pins the batched-admission aliasing fix: the
+// terminal slice handed to H must not share backing storage with spanned.
+func TestWithTermNeverAliases(t *testing.T) {
+	spanned := make([]graph.NodeID, 3, 16) // spare capacity: the old footgun
+	copy(spanned, []graph.NodeID{1, 2, 3})
+	var buf []graph.NodeID
+	terms := withTerm(&buf, spanned, 9)
+	want := []graph.NodeID{1, 2, 3, 9}
+	if !reflect.DeepEqual(terms, want) {
+		t.Fatalf("terms = %v, want %v", terms, want)
+	}
+	terms[0] = 99
+	if spanned[0] != 1 {
+		t.Fatal("withTerm aliased spanned's backing array")
+	}
+	// Reuse must not grow: same buffer, new contents.
+	terms2 := withTerm(&buf, spanned, 7)
+	if &terms2[0] != &terms[0] {
+		t.Fatal("withTerm reallocated a buffer with sufficient capacity")
+	}
+	if !reflect.DeepEqual(terms2, []graph.NodeID{1, 2, 3, 7}) {
+		t.Fatalf("terms2 = %v", terms2)
+	}
+}

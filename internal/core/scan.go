@@ -1,0 +1,170 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// maxScanWorkers caps the default candidate-scan fan-out; beyond eight
+// workers the per-round sharding overhead outweighs the shrinking shards on
+// the pool sizes the router produces (≤ 1024 candidates).
+const maxScanWorkers = 8
+
+// scanWorkers resolves Options.Workers: 0 means GOMAXPROCS capped at
+// maxScanWorkers, anything below 1 means the sequential reference scan.
+func scanWorkers(opts Options) int {
+	w := opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > maxScanWorkers {
+			w = maxScanWorkers
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanEval is one candidate's outcome in a scan round. Rounds produce evals
+// in pool order regardless of how the scan was sharded, so every reduction
+// over them reproduces the sequential scan's tie-breaking exactly.
+type scanEval struct {
+	t   graph.NodeID
+	sol graph.Tree
+	err error
+}
+
+// scanner evaluates the base heuristic over a round's candidate pool,
+// either inline on the shared cache (workers == 1, the regression oracle)
+// or sharded over worker goroutines. Each worker owns a Fork of the cache —
+// a read-only view of every established tree plus a private scratch for the
+// epoch sets and any candidate-rooted Dijkstra runs — so concurrent
+// evaluations share no mutable state. Forks persist across rounds to keep
+// their scratch warm; close returns them to the process-wide pool.
+type scanner struct {
+	cache   *graph.SPTCache
+	H       steiner.Heuristic
+	workers int
+	forks   []*graph.SPTCache // per-worker cache views (nil when sequential)
+	bufs    [][]graph.NodeID  // per-worker terminal buffers
+	termBuf []graph.NodeID    // terminal buffer for inline evaluations
+	targets []graph.NodeID    // current round's candidates, in pool order
+	evals   []scanEval        // reused result buffer
+	// workerRuns/workerPushes stage each worker's Dijkstra counter deltas
+	// for the round so the reducer can fold them into Stats without racing.
+	workerRuns   []int64
+	workerPushes []int64
+}
+
+func newScanner(cache *graph.SPTCache, H steiner.Heuristic, opts Options) *scanner {
+	s := &scanner{cache: cache, H: H, workers: scanWorkers(opts)}
+	if s.workers > 1 {
+		s.forks = make([]*graph.SPTCache, s.workers)
+		s.bufs = make([][]graph.NodeID, s.workers)
+		s.workerRuns = make([]int64, s.workers)
+		s.workerPushes = make([]int64, s.workers)
+		for i := range s.forks {
+			s.forks[i] = cache.Fork(graph.AcquireScratch())
+		}
+	}
+	return s
+}
+
+// close releases every worker fork: private trees recycle into the fork's
+// scratch, which then returns to the pool.
+func (s *scanner) close() {
+	for _, f := range s.forks {
+		scr := f.Scratch()
+		f.Release()
+		graph.ReleaseScratch(scr)
+	}
+	s.forks = nil
+}
+
+// withTerm writes spanned followed by t into *buf (grown as needed) and
+// returns the slice. Every evaluation gets a terminal list that never
+// aliases spanned's backing array: the previous append(spanned, t) idiom
+// reused that array across evaluations once capacity allowed, which is a
+// data race under the parallel scan and a retention footgun even inline.
+func withTerm(buf *[]graph.NodeID, spanned []graph.NodeID, t graph.NodeID) []graph.NodeID {
+	n := len(spanned) + 1
+	if cap(*buf) < n {
+		*buf = make([]graph.NodeID, 0, n+8)
+	}
+	terms := append((*buf)[:0], spanned...)
+	terms = append(terms, t)
+	*buf = terms
+	return terms
+}
+
+// scan evaluates H(G, spanned ∪ {t}) for every pool candidate t not in inNS,
+// returning outcomes in pool order and accounting the work into st. The
+// returned slice is reused by the next round.
+func (s *scanner) scan(st *Stats, spanned []graph.NodeID, inNS map[graph.NodeID]bool, pool []graph.NodeID) []scanEval {
+	s.targets = s.targets[:0]
+	for _, t := range pool {
+		if !inNS[t] {
+			s.targets = append(s.targets, t)
+		}
+	}
+	n := len(s.targets)
+	st.Evaluations += n
+	if cap(s.evals) < n {
+		s.evals = make([]scanEval, n)
+	}
+	evals := s.evals[:n]
+	if s.workers == 1 || n < 2 {
+		for i, t := range s.targets {
+			sol, err := s.H(s.cache, withTerm(&s.termBuf, spanned, t))
+			evals[i] = scanEval{t, sol, err}
+		}
+		return evals
+	}
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	per := (n + w - 1) / w
+	cpu := make([]time.Duration, w)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		s.workerRuns[k], s.workerPushes[k] = 0, 0
+		lo, hi := k*per, min((k+1)*per, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			fork := s.forks[k]
+			scr := fork.Scratch()
+			runs0, pushes0 := scr.Runs, scr.HeapPushes
+			for i := lo; i < hi; i++ {
+				t := s.targets[i]
+				sol, err := s.H(fork, withTerm(&s.bufs[k], spanned, t))
+				evals[i] = scanEval{t, sol, err}
+			}
+			s.workerRuns[k] = scr.Runs - runs0
+			s.workerPushes[k] = scr.HeapPushes - pushes0
+			cpu[k] = time.Since(t0)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	st.ParallelScans++
+	st.ScanWall += time.Since(start)
+	for _, d := range cpu {
+		st.ScanCPU += d
+	}
+	for k := 0; k < w; k++ {
+		st.WorkerSSSPRuns += s.workerRuns[k]
+		st.WorkerHeapPushes += s.workerPushes[k]
+	}
+	return evals
+}

@@ -32,6 +32,10 @@ type RouterConfig struct {
 	// -timeout) abandons in-flight routing at the router's pass/net
 	// boundaries with router.ErrCanceled.
 	Ctx context.Context
+	// CandidateWorkers is forwarded to router.Options.CandidateWorkers for
+	// every routing call of the sweep (0 = GOMAXPROCS capped at 8, 1 =
+	// sequential; results are identical at every setting).
+	CandidateWorkers int
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -73,8 +77,9 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 	ctx := router.NewContext(cfg.Stats)
 	defer ctx.Close()
 	w, res, err := router.MinWidthContext(cfg.Ctx, ctx, ckt, start, router.Options{
-		Algorithm: alg,
-		MaxPasses: cfg.MaxPasses,
+		Algorithm:        alg,
+		MaxPasses:        cfg.MaxPasses,
+		CandidateWorkers: cfg.CandidateWorkers,
 	})
 	if err != nil {
 		return WidthRow{}, fmt.Errorf("%s/%s: %w", spec.Name, alg, err)
@@ -234,7 +239,7 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses})
+				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers})
 				if err != nil {
 					if errors.Is(err, router.ErrUnroutable) {
 						break

@@ -190,11 +190,18 @@ func (t *SPT) Reachable(v NodeID) bool { return t.Dist[v] != Inf }
 // through all nets of a pass) or a private one created lazily. Release
 // recycles all cached trees into the scratch so the next net's cache reuses
 // their buffers.
+//
+// A cache alone is not safe for concurrent use. For parallel candidate
+// evaluation, Fork splits it into a read-only snapshot (the base cache,
+// frozen for the forks' lifetime) plus per-worker private state; see Fork.
 type SPTCache struct {
 	g       *Graph
 	trees   map[NodeID]*SPT
 	stop    []NodeID // optional early-termination set (nil = settle all)
 	scratch *DijkstraScratch
+	// base, when non-nil, is the frozen snapshot this cache was forked from:
+	// lookups fall through to its trees, writes stay private (see Fork).
+	base *SPTCache
 	// Runs counts actual Dijkstra executions, exposed for ablation benches.
 	Runs int
 }
@@ -217,6 +224,31 @@ func NewSPTCacheWithin(g *Graph, stop []NodeID) *SPTCache {
 func (c *SPTCache) WithScratch(s *DijkstraScratch) *SPTCache {
 	c.scratch = s
 	return c
+}
+
+// Fork returns a per-worker view of the cache for concurrent candidate
+// evaluation. Lookups (Tree, Dist, Path, CachedTree) fall through to every
+// tree already cached in c — the shared read-only snapshot — while misses
+// are computed with s, the worker's own scratch, into the fork's private
+// map. Forks of the same base therefore never write shared state: any
+// number of them may run concurrently, one goroutine each, as long as the
+// base is quiescent (no Tree/Dist/Path/Release calls on it) while they are
+// live. Release the fork — recycling its private trees into s — before
+// returning s to the pool; the base's trees are never recycled by a fork.
+func (c *SPTCache) Fork(s *DijkstraScratch) *SPTCache {
+	return &SPTCache{g: c.g, trees: make(map[NodeID]*SPT), stop: c.stop, scratch: s, base: c}
+}
+
+// lookup returns the cached tree rooted at v, consulting the fork's private
+// map first and then the frozen base snapshot.
+func (c *SPTCache) lookup(v NodeID) (*SPT, bool) {
+	if t, ok := c.trees[v]; ok {
+		return t, true
+	}
+	if c.base != nil {
+		return c.base.lookup(v)
+	}
+	return nil, false
 }
 
 // Scratch returns the cache's scratch, creating a private one on first use.
@@ -249,9 +281,9 @@ func (c *SPTCache) EdgeSet() EdgeSet { return c.Scratch().EdgeSet(c.g.NumEdges()
 func (c *SPTCache) NodeSet() NodeSet { return c.Scratch().NodeSet(c.g.NumNodes()) }
 
 // Tree returns the shortest-paths tree rooted at src, computing it on first
-// use.
+// use (into the fork's private map when the cache is a fork).
 func (c *SPTCache) Tree(src NodeID) *SPT {
-	if t, ok := c.trees[src]; ok {
+	if t, ok := c.lookup(src); ok {
 		return t
 	}
 	t := c.g.dijkstraWith(c.Scratch(), src, c.stop)
@@ -265,19 +297,19 @@ func (c *SPTCache) Tree(src NodeID) *SPT {
 // undirected graphs, so Dist prefers whichever of the two endpoints is
 // already cached.
 func (c *SPTCache) Dist(u, v NodeID) float64 {
-	if t, ok := c.trees[u]; ok {
+	if t, ok := c.lookup(u); ok {
 		return t.Dist[v]
 	}
-	if t, ok := c.trees[v]; ok {
+	if t, ok := c.lookup(v); ok {
 		return t.Dist[u]
 	}
 	return c.Tree(u).Dist[v]
 }
 
-// CachedTree returns the tree rooted at v if it has already been computed.
+// CachedTree returns the tree rooted at v if it has already been computed
+// (in this cache or, for forks, in the base snapshot).
 func (c *SPTCache) CachedTree(v NodeID) (*SPT, bool) {
-	t, ok := c.trees[v]
-	return t, ok
+	return c.lookup(v)
 }
 
 // Path returns the edge IDs of one shortest path between u and v (nil if
@@ -286,10 +318,10 @@ func (c *SPTCache) CachedTree(v NodeID) (*SPT, bool) {
 // path's orientation (u→v vs v→u) is unspecified; callers union undirected
 // edges.
 func (c *SPTCache) Path(u, v NodeID) []EdgeID {
-	if t, ok := c.trees[u]; ok {
+	if t, ok := c.lookup(u); ok {
 		return t.PathTo(v)
 	}
-	if t, ok := c.trees[v]; ok {
+	if t, ok := c.lookup(v); ok {
 		return t.PathTo(u)
 	}
 	return c.Tree(u).PathTo(v)

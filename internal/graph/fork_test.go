@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestForkSharesBaseTrees checks that a fork reads the base cache's
+// established trees without recomputing them, while new roots computed
+// through the fork stay private to it.
+func TestForkSharesBaseTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnected(rng, 40, 200, 10)
+	base := NewSPTCache(g)
+	baseTree := base.Tree(0)
+
+	f := base.Fork(NewDijkstraScratch())
+	if got := f.Tree(0); got != baseTree {
+		t.Fatal("fork recomputed a tree the base already holds")
+	}
+	if f.Runs != 0 {
+		t.Fatalf("fork ran %d Dijkstras for a base-cached root", f.Runs)
+	}
+
+	// A miss computes privately: visible through the fork, not the base.
+	f.Tree(5)
+	if f.Runs != 1 {
+		t.Fatalf("fork Runs = %d, want 1", f.Runs)
+	}
+	if _, ok := base.CachedTree(5); ok {
+		t.Fatal("fork leaked a private tree into the base cache")
+	}
+	if _, ok := f.CachedTree(5); !ok {
+		t.Fatal("fork lost its own private tree")
+	}
+
+	// Symmetric lookups through the fork agree with the base.
+	for v := 1; v < 10; v++ {
+		if f.Dist(0, NodeID(v)) != base.Dist(0, NodeID(v)) {
+			t.Fatalf("fork Dist(0,%d) diverges from base", v)
+		}
+	}
+	f.Release()
+}
+
+// TestForkConcurrentReads exercises many forks of one frozen base cache
+// from concurrent goroutines; run under -race this is the memory-safety
+// proof for the parallel candidate scan.
+func TestForkConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomConnected(rng, 60, 300, 10)
+	base := NewSPTCache(g)
+	// Pre-settle the "established" roots, then freeze the base.
+	for v := 0; v < 8; v++ {
+		base.Tree(NodeID(v))
+	}
+
+	const workers = 8
+	dist := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			scr := AcquireScratch()
+			f := base.Fork(scr)
+			defer func() {
+				f.Release()
+				ReleaseScratch(scr)
+			}()
+			// Mix base-tree reads, symmetric lookups, private Dijkstras,
+			// path expansions, and epoch-set use, per worker.
+			var ds []float64
+			for v := 0; v < g.NumNodes(); v++ {
+				ds = append(ds, f.Dist(0, NodeID(v)))
+			}
+			cand := NodeID(10 + k)
+			f.Tree(cand)
+			for v := 0; v < 8; v++ {
+				ds = append(ds, f.Dist(cand, NodeID(v)))
+				if len(f.Path(NodeID(v), cand)) == 0 && cand != NodeID(v) {
+					t.Errorf("worker %d: empty path %d->%d", k, v, cand)
+				}
+			}
+			set := f.NodeSet()
+			for v := 0; v < 8; v++ {
+				set.Add(NodeID(v))
+			}
+			dist[k] = ds
+		}(k)
+	}
+	wg.Wait()
+
+	// Every worker saw identical distances (same frozen base, same graph).
+	for k := 1; k < workers; k++ {
+		for i := range dist[0] {
+			if i >= g.NumNodes() {
+				break // candidate-relative tail differs per worker by design
+			}
+			if dist[k][i] != dist[0][i] {
+				t.Fatalf("worker %d dist[%d] = %v, worker 0 saw %v", k, i, dist[k][i], dist[0][i])
+			}
+		}
+	}
+}

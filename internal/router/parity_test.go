@@ -1,0 +1,67 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fpgarouter/internal/circuits"
+)
+
+// TestRouteParityAcrossWorkers asserts the router-level tentpole guarantee:
+// Route returns a byte-identical Result at every CandidateWorkers setting,
+// for every iterated algorithm, in both admission modes, at several widths
+// (including widths tight enough to fail and exercise FailedNets). Run
+// under -race this is the end-to-end proof for the parallel candidate scan.
+func TestRouteParityAcrossWorkers(t *testing.T) {
+	ckt := synth(t, tinySpec(circuits.Series4000), 3)
+	for _, alg := range []string{AlgIKMB, AlgISPH, AlgIZEL, AlgIDOM} {
+		for _, single := range []bool{false, true} {
+			for _, w := range []int{3, 5, 8} {
+				t.Run(fmt.Sprintf("%s/single=%v/w=%d", alg, single, w), func(t *testing.T) {
+					run := func(workers int) (*Result, error) {
+						return Route(ckt, w, Options{
+							Algorithm:        alg,
+							MaxPasses:        4,
+							SingleStep:       single,
+							CandidateWorkers: workers,
+						})
+					}
+					refRes, refErr := run(1)
+					for _, cw := range []int{0, 2, 8} {
+						res, err := run(cw)
+						if !errors.Is(err, refErr) && (err == nil) != (refErr == nil) {
+							t.Fatalf("workers=%d err %v, sequential err %v", cw, err, refErr)
+						}
+						if !reflect.DeepEqual(res, refRes) {
+							t.Fatalf("workers=%d Result diverges from sequential", cw)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRouteParityCriticalNets covers the mixed path: critical nets routed
+// with the arborescence algorithm alongside IKMB for the rest.
+func TestRouteParityCriticalNets(t *testing.T) {
+	ckt := synth(t, tinySpec(circuits.Series4000), 4)
+	opts := Options{MaxPasses: 6, CriticalNets: []int{0, 3, 5}}
+	ref, refErr := Route(ckt, 8, opts)
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	for _, cw := range []int{0, 2, 8} {
+		o := opts
+		o.CandidateWorkers = cw
+		res, err := Route(ckt, 8, o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", cw, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("workers=%d Result diverges from sequential", cw)
+		}
+	}
+}

@@ -72,6 +72,16 @@ type Options struct {
 	// 8); 1 (or any negative value) forces one probe at a time. The
 	// search's outputs are identical at every setting.
 	WidthProbes int `json:"width_probes,omitempty"`
+	// CandidateWorkers bounds the fan-out of the iterated constructions'
+	// candidate-evaluation scans (core.Options.Workers): each net's
+	// Steiner-candidate pool is sharded over this many goroutines, every
+	// worker evaluating against its own fork of the net's frozen
+	// shortest-paths snapshot. 0 selects the default (GOMAXPROCS capped at
+	// 8); 1 (or any negative value) forces the sequential reference scan.
+	// Routing results are bit-identical at every setting (see the parity
+	// tests). Combined with WidthProbes the total goroutine fan-out is the
+	// product of the two; GOMAXPROCS bounds actual parallelism.
+	CandidateWorkers int `json:"candidate_workers,omitempty"`
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
 	NoMoveToFront bool `json:"no_move_to_front,omitempty"`
@@ -123,16 +133,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// criticalSet returns membership of net IDs in opts.CriticalNets.
-func (o Options) criticalSet() map[int]bool {
+// criticalSet returns a sorted copy of CriticalNets for binary-search
+// membership tests via isCritical (no per-call map).
+func (o Options) criticalSet() []int {
 	if len(o.CriticalNets) == 0 {
 		return nil
 	}
-	m := make(map[int]bool, len(o.CriticalNets))
-	for _, id := range o.CriticalNets {
-		m[id] = true
-	}
-	return m
+	s := append([]int(nil), o.CriticalNets...)
+	sort.Ints(s)
+	return s
+}
+
+// isCritical reports membership of net ID id in the sorted set crit.
+func isCritical(crit []int, id int) bool {
+	i := sort.SearchInts(crit, id)
+	return i < len(crit) && crit[i] == id
 }
 
 // NetResult records the routed tree and metrics for one net. The JSON tags
@@ -226,7 +241,7 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 		// their existing relative order.
 		var front, rest []int
 		for _, idx := range order {
-			if crit[ckt.Nets[idx].ID] {
+			if isCritical(crit, ckt.Nets[idx].ID) {
 				front = append(front, idx)
 			} else {
 				rest = append(rest, idx)
@@ -235,7 +250,7 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 		order = append(front, rest...)
 	}
 	netOpts := func(idx int) Options {
-		if crit != nil && crit[ckt.Nets[idx].ID] {
+		if crit != nil && isCritical(crit, ckt.Nets[idx].ID) {
 			o := opts
 			o.Algorithm = opts.CriticalAlgorithm
 			return o
@@ -352,7 +367,17 @@ func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (g
 	}
 	cache = ctx.attach(cache)
 	defer cache.Release()
-	iterOpts := core.Options{Candidates: pool, Batched: !opts.SingleStep}
+	iterOpts := core.Options{Candidates: pool, Batched: !opts.SingleStep, Workers: opts.CandidateWorkers}
+	// record forwards an iterated construction's work counters — candidate
+	// evaluations, admitted points, and the parallel scans' wall/CPU split —
+	// to the context's collector.
+	record := func(st core.Stats) {
+		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		ctx.Stats.AddScans(int64(st.ParallelScans), st.ScanWall, st.ScanCPU)
+		// Worker forks run Dijkstra on their own scratch, invisible to the
+		// context scratch's counter deltas recorded by routeOnFabric.
+		ctx.Stats.AddSSSP(st.WorkerSSSPRuns, st.WorkerHeapPushes)
+	}
 	switch opts.Algorithm {
 	case AlgKMB:
 		return steiner.KMB(cache, terms)
@@ -368,22 +393,22 @@ func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (g
 		return arbor.PFA(cache, terms)
 	case AlgIKMB:
 		tree, st, err := core.IGMSTStats(cache, terms, steiner.KMB, iterOpts)
-		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		record(st)
 		return tree, err
 	case AlgISPH:
 		tree, st, err := core.IGMSTStats(cache, terms, steiner.SPH, iterOpts)
-		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		record(st)
 		return tree, err
 	case AlgIZEL:
 		zel := func(c *graph.SPTCache, n []graph.NodeID) (graph.Tree, error) {
 			return steiner.ZELRestricted(c, n, pool)
 		}
 		tree, st, err := core.IGMSTStats(cache, terms, zel, iterOpts)
-		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		record(st)
 		return tree, err
 	default: // AlgIDOM
 		tree, st, err := core.IDOMStats(cache, terms, iterOpts)
-		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		record(st)
 		return tree, err
 	}
 }
@@ -484,11 +509,20 @@ func initialOrder(ckt *circuits.Circuit) []int {
 
 // moveToFront hoists the failed net indices to the front of the order,
 // preserving relative order within both groups (the paper's move-to-front
-// reordering heuristic).
+// reordering heuristic). Membership is an index slice over the net-index
+// range — not a per-pass map.
 func moveToFront(order []int, failed []int) []int {
-	inFailed := make(map[int]bool, len(failed))
+	n := 0
+	for _, idx := range order {
+		if idx >= n {
+			n = idx + 1
+		}
+	}
+	inFailed := make([]bool, n)
 	for _, f := range failed {
-		inFailed[f] = true
+		if f >= 0 && f < n {
+			inFailed[f] = true
+		}
 	}
 	out := make([]int, 0, len(order))
 	out = append(out, failed...)

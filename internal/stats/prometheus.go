@@ -24,6 +24,14 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	counter("width_probes_total", "Route calls issued by channel-width searches.", s.WidthProbes)
 	counter("candidate_evals_total", "Steiner-candidate evaluations.", s.CandidateEvals)
 	counter("steiner_points_total", "Steiner points admitted.", s.SteinerPoints)
+	counter("parallel_scans_total", "Candidate-scan rounds fanned out over workers.", s.ParallelScans)
+
+	fmt.Fprintf(w, "# HELP %s_scan_wall_seconds_total Wall-clock time of parallel candidate scans.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_scan_wall_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_scan_wall_seconds_total %g\n", prefix, s.ScanWall.Seconds())
+	fmt.Fprintf(w, "# HELP %s_scan_cpu_seconds_total Summed per-worker busy time of parallel candidate scans.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_scan_cpu_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_scan_cpu_seconds_total %g\n", prefix, s.ScanCPU.Seconds())
 
 	fmt.Fprintf(w, "# HELP %s_net_time_seconds_total Cumulative single-net routing time.\n", prefix)
 	fmt.Fprintf(w, "# TYPE %s_net_time_seconds_total counter\n", prefix)

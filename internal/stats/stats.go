@@ -36,6 +36,9 @@ type Collector struct {
 	widthProbes  atomic.Int64
 	candEvals    atomic.Int64
 	steinerPts   atomic.Int64
+	parScans     atomic.Int64
+	scanWallNs   atomic.Int64
+	scanCPUNs    atomic.Int64
 	congestion   [CongestionBuckets]atomic.Int64
 }
 
@@ -109,6 +112,19 @@ func (c *Collector) AddCandidateWork(evals, points int64) {
 	c.steinerPts.Add(points)
 }
 
+// AddScans records n parallel candidate-scan rounds (rounds that actually
+// fanned out over more than one worker goroutine), with their total
+// wall-clock and summed per-worker busy time. cpu/wall is the achieved scan
+// parallelism; sequential scans record nothing.
+func (c *Collector) AddScans(n int64, wall, cpu time.Duration) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.parScans.Add(n)
+	c.scanWallNs.Add(wall.Nanoseconds())
+	c.scanCPUNs.Add(cpu.Nanoseconds())
+}
+
 // RecordCongestion bins each channel span's utilization fraction
 // (used/width) into the congestion histogram; the router records the final
 // fabric state of each successfully routed circuit.
@@ -141,6 +157,9 @@ type Snapshot struct {
 	WidthProbes    int64
 	CandidateEvals int64
 	SteinerPoints  int64
+	ParallelScans  int64
+	ScanWall       time.Duration
+	ScanCPU        time.Duration
 	Congestion     [CongestionBuckets]int64
 }
 
@@ -162,6 +181,9 @@ func (c *Collector) Snapshot() Snapshot {
 		WidthProbes:    c.widthProbes.Load(),
 		CandidateEvals: c.candEvals.Load(),
 		SteinerPoints:  c.steinerPts.Load(),
+		ParallelScans:  c.parScans.Load(),
+		ScanWall:       time.Duration(c.scanWallNs.Load()),
+		ScanCPU:        time.Duration(c.scanCPUNs.Load()),
 	}
 	for i := range c.congestion {
 		s.Congestion[i] = c.congestion[i].Load()
@@ -178,6 +200,13 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "  nets routed        %d (failures %d, rip-ups %d)\n", s.NetsRouted, s.NetFailures, s.RipUps)
 	fmt.Fprintf(&b, "  passes             %d (width probes %d)\n", s.Passes, s.WidthProbes)
 	fmt.Fprintf(&b, "  candidate evals    %d (Steiner points admitted %d)\n", s.CandidateEvals, s.SteinerPoints)
+	if s.ParallelScans > 0 {
+		par := 0.0
+		if s.ScanWall > 0 {
+			par = float64(s.ScanCPU) / float64(s.ScanWall)
+		}
+		fmt.Fprintf(&b, "  parallel scans     %d (wall %v, cpu %v, parallelism %.2fx)\n", s.ParallelScans, s.ScanWall.Round(time.Microsecond), s.ScanCPU.Round(time.Microsecond), par)
+	}
 	avg := time.Duration(0)
 	if n := s.NetsRouted + s.NetFailures; n > 0 {
 		avg = s.NetTime / time.Duration(n)

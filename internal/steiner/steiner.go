@@ -28,20 +28,24 @@ type Heuristic func(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, erro
 
 // CheckNet validates a net: at least one pin, no duplicates, all pins
 // mutually reachable in the cache's graph. Returns ErrNoRoute or a
-// descriptive error.
+// descriptive error. It runs once per base-heuristic evaluation, so the
+// duplicate check uses the cache's pooled node set rather than a per-call
+// map; the range check comes first because the set indexes by pin ID.
 func CheckNet(cache *graph.SPTCache, net []graph.NodeID) error {
 	if len(net) == 0 {
 		return errors.New("steiner: empty net")
 	}
-	seen := make(map[graph.NodeID]bool, len(net))
+	n := cache.Graph().NumNodes()
 	for _, v := range net {
-		if v < 0 || int(v) >= cache.Graph().NumNodes() {
+		if v < 0 || int(v) >= n {
 			return fmt.Errorf("steiner: pin %d out of range", v)
 		}
-		if seen[v] {
+	}
+	seen := cache.NodeSet()
+	for _, v := range net {
+		if !seen.Add(v) {
 			return fmt.Errorf("steiner: duplicate pin %d", v)
 		}
-		seen[v] = true
 	}
 	t := cache.Tree(net[0])
 	for _, v := range net[1:] {

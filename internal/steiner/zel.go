@@ -113,17 +113,27 @@ func ZELRestricted(cache *graph.SPTCache, net []graph.NodeID, pool []graph.NodeI
 		baseMST = primMatrix(m)
 	}
 
-	// Final KMB over N ∪ W (deduplicating Steiner points already in N).
+	// Final KMB over N ∪ W (deduplicating Steiner points already in N via
+	// the cache's pooled node set instead of a per-call map).
 	aug := append([]graph.NodeID(nil), net...)
-	inNet := make(map[graph.NodeID]bool, len(net))
+	inNet := cache.NodeSet()
 	for _, v := range net {
-		inNet[v] = true
+		inNet.Add(v)
 	}
 	for _, v := range steinerPts {
-		if !inNet[v] {
-			inNet[v] = true
+		if inNet.Add(v) {
 			aug = append(aug, v)
 		}
+	}
+	// Root a tree at every admitted Steiner point before the final KMB:
+	// with all of aug rooted, KMB's symmetric Dist/Path lookups always read
+	// off their first argument's tree, which makes this call's output
+	// independent of whatever earlier evaluations happened to memoize in
+	// the cache. The iterated template's parallel candidate scan relies on
+	// that history-independence for bit-parity with its sequential
+	// reference (core.Options.Workers).
+	for _, v := range aug[len(net):] {
+		cache.Tree(v)
 	}
 	return KMB(cache, aug)
 }
