@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check bench bench-json tables serve clean
+.PHONY: all build test check chaos bench bench-json tables serve clean
 
 all: build
 
@@ -19,6 +19,12 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Fault-injection suite (internal/faultpoint): worker panics, injected
+# transient errors, deadline-interrupted searches — the daemon must
+# survive and degrade gracefully, with no data races.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault' ./...
 
 # Router micro-benchmarks (human-readable).
 bench:

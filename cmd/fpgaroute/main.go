@@ -120,14 +120,25 @@ func main() {
 
 	start := time.Now()
 	if *minW {
-		w, res, err := router.MinWidthContext(cc, ctx, ckt, spec.PaperIKMB, opts)
-		if err != nil {
+		w, res, complete, err := router.MinWidthContext(cc, ctx, ckt, spec.PaperIKMB, opts)
+		if err != nil && res == nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: minimum channel width %d (%d passes at that width, %.0f wirelength, %v)\n",
-			spec.Name, w, res.Passes, res.Wirelength, time.Since(start).Round(time.Millisecond))
+		if complete {
+			fmt.Printf("%s: minimum channel width %d (%d passes at that width, %.0f wirelength, %v)\n",
+				spec.Name, w, res.Passes, res.Wirelength, time.Since(start).Round(time.Millisecond))
+		} else {
+			// Interrupted mid-search with a feasible width in hand: report the
+			// best-so-far answer, flagged as an upper bound.
+			fmt.Fprintf(os.Stderr, "search interrupted: %v\n", err)
+			fmt.Printf("%s: best feasible channel width %d (search incomplete; %d passes at that width, %.0f wirelength, %v)\n",
+				spec.Name, w, res.Passes, res.Wirelength, time.Since(start).Round(time.Millisecond))
+		}
 		printStats()
+		if !complete {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -138,6 +149,10 @@ func main() {
 	res, fab, err := router.RouteWithFabricContext(cc, ctx, ckt, w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "routing failed: %v\n", err)
+		if res != nil && res.Partial {
+			fmt.Fprintf(os.Stderr, "partial result: %d/%d nets routed at width %d (%d pass(es), wirelength %.1f)\n",
+				res.RoutedNets, len(res.Nets), w, res.Passes, res.Wirelength)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("%s routed at width %d: %d pass(es), wirelength %.1f, max span utilization %d/%d, %v\n",

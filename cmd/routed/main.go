@@ -11,7 +11,14 @@
 //	curl -s localhost:8080/jobs -d '{"mode":"minwidth","circuit":"busc"}'
 //	curl -s localhost:8080/jobs/job-000001
 //	curl -s localhost:8080/jobs/job-000001/result
+//	curl -s localhost:8080/healthz   # liveness: 200 while the process serves
+//	curl -s localhost:8080/readyz    # readiness: 503 when draining/saturated
 //	curl -s localhost:8080/metrics
+//
+// Jobs may carry "timeout_ms", "max_retries", and "retry_backoff_ms":
+// transiently failing attempts (recovered worker panics) are retried with
+// exponential backoff, and a job interrupted by its deadline still serves
+// its best partial result with "complete": false.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, running
 // jobs drain under -grace, and whatever is still in flight afterwards is

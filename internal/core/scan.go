@@ -2,9 +2,11 @@ package core
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"fpgarouter/internal/faultpoint"
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/steiner"
 )
@@ -59,6 +61,13 @@ type scanner struct {
 	// for the round so the reducer can fold them into Stats without racing.
 	workerRuns   []int64
 	workerPushes []int64
+	// panics[k] captures a panic recovered on worker k so it can be
+	// re-raised on the calling goroutine after the round's barrier — a raw
+	// panic on a worker goroutine would kill the whole process, bypassing
+	// the service's per-job isolation. poisoned[k] marks that worker's fork
+	// scratch as mid-run-interrupted; close discards it instead of pooling.
+	panics   []*faultpoint.GoroutinePanic
+	poisoned []bool
 }
 
 func newScanner(cache *graph.SPTCache, H steiner.Heuristic, opts Options) *scanner {
@@ -68,6 +77,8 @@ func newScanner(cache *graph.SPTCache, H steiner.Heuristic, opts Options) *scann
 		s.bufs = make([][]graph.NodeID, s.workers)
 		s.workerRuns = make([]int64, s.workers)
 		s.workerPushes = make([]int64, s.workers)
+		s.panics = make([]*faultpoint.GoroutinePanic, s.workers)
+		s.poisoned = make([]bool, s.workers)
 		for i := range s.forks {
 			s.forks[i] = cache.Fork(graph.AcquireScratch())
 		}
@@ -76,10 +87,16 @@ func newScanner(cache *graph.SPTCache, H steiner.Heuristic, opts Options) *scann
 }
 
 // close releases every worker fork: private trees recycle into the fork's
-// scratch, which then returns to the pool.
+// scratch, which then returns to the pool. A fork whose worker panicked
+// mid-evaluation is discarded whole — its scratch may hold a half-built
+// run, and a dropped scratch is cheaper than a poisoned pool.
 func (s *scanner) close() {
-	for _, f := range s.forks {
+	for i, f := range s.forks {
 		scr := f.Scratch()
+		if s.poisoned != nil && s.poisoned[i] {
+			graph.DiscardScratch(scr)
+			continue
+		}
 		f.Release()
 		graph.ReleaseScratch(scr)
 	}
@@ -139,14 +156,24 @@ func (s *scanner) scan(st *Stats, spanned []graph.NodeID, inNS map[graph.NodeID]
 		if lo >= hi {
 			continue
 		}
+		s.panics[k] = nil
 		wg.Add(1)
 		go func(k, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					// Capture the stack here, while the panicking frames are
+					// still on this goroutine; the barrier re-raises below.
+					s.panics[k] = &faultpoint.GoroutinePanic{Value: p, Stack: debug.Stack()}
+					s.poisoned[k] = true
+				}
+			}()
 			t0 := time.Now()
 			fork := s.forks[k]
 			scr := fork.Scratch()
 			runs0, pushes0 := scr.Runs, scr.HeapPushes
 			for i := lo; i < hi; i++ {
+				faultpoint.Check(faultpoint.ScanWorker)
 				t := s.targets[i]
 				sol, err := s.H(fork, withTerm(&s.bufs[k], spanned, t))
 				evals[i] = scanEval{t, sol, err}
@@ -157,6 +184,15 @@ func (s *scanner) scan(st *Stats, spanned []graph.NodeID, inNS map[graph.NodeID]
 		}(k, lo, hi)
 	}
 	wg.Wait()
+	// Re-raise the lowest-indexed worker panic on the owning goroutine
+	// (deterministic when several workers fail the same round). IGMSTStats'
+	// deferred scanner close runs during the unwind and discards the
+	// poisoned forks.
+	for k := 0; k < w; k++ {
+		if s.panics[k] != nil {
+			panic(s.panics[k])
+		}
+	}
 	st.ParallelScans++
 	st.ScanWall += time.Since(start)
 	for _, d := range cpu {

@@ -76,7 +76,7 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 	progress("min-width search: %s with %s (start %d)", spec.Name, alg, start)
 	ctx := router.NewContext(cfg.Stats)
 	defer ctx.Close()
-	w, res, err := router.MinWidthContext(cfg.Ctx, ctx, ckt, start, router.Options{
+	w, res, _, err := router.MinWidthContext(cfg.Ctx, ctx, ckt, start, router.Options{
 		Algorithm:        alg,
 		MaxPasses:        cfg.MaxPasses,
 		CandidateWorkers: cfg.CandidateWorkers,

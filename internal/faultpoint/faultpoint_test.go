@@ -1,0 +1,141 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	Check("anything") // must not panic
+	if Hits("anything") != 0 || Fired("anything") != 0 {
+		t.Fatal("disarmed point accumulated counters")
+	}
+}
+
+func TestFaultNthSchedule(t *testing.T) {
+	t.Cleanup(Reset)
+	sentinel := errors.New("injected")
+	Arm("p", Plan{Action: Error, Err: sentinel, Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := Hit("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err %v", i, err)
+		}
+		if err != nil && !errors.Is(err, sentinel) {
+			t.Fatalf("hit %d: wrong error %v", i, err)
+		}
+	}
+	if Hits("p") != 5 || Fired("p") != 1 {
+		t.Fatalf("hits=%d fired=%d, want 5/1", Hits("p"), Fired("p"))
+	}
+}
+
+func TestFaultEveryWithTimesBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Plan{Action: Error, Err: errors.New("x"), Every: 2, Times: 2})
+	var fires int
+	for i := 0; i < 10; i++ {
+		if Hit("p") != nil {
+			fires++
+		}
+	}
+	if fires != 2 || Fired("p") != 2 {
+		t.Fatalf("fires=%d Fired=%d, want 2/2", fires, Fired("p"))
+	}
+}
+
+func TestFaultSeededScheduleIsDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	run := func(seed uint64) []bool {
+		Arm("p", Plan{Action: Error, Err: errors.New("x"), Prob: 0.3, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	other := run(8)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != other[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	var fires int
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("degenerate seeded schedule: %d/%d fires", fires, len(a))
+	}
+}
+
+func TestFaultPanicActionAndCheckEscalation(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Plan{Action: Panic, Nth: 1})
+	func() {
+		defer func() {
+			inj, ok := recover().(*Injected)
+			if !ok || inj.Site != "p" {
+				t.Fatalf("recovered %v, want *Injected at p", inj)
+			}
+		}()
+		Check("p")
+	}()
+
+	// An Error action at a no-error-return site escalates to a panic that
+	// still carries the armed error.
+	sentinel := errors.New("escalate me")
+	Arm("q", Plan{Action: Error, Err: sentinel, Every: 1})
+	func() {
+		defer func() {
+			inj, ok := recover().(*Injected)
+			if !ok || inj.Site != "q" || !errors.Is(inj.Err, sentinel) {
+				t.Fatalf("recovered %v, want escalated Injected wrapping sentinel", inj)
+			}
+		}()
+		Check("q")
+	}()
+}
+
+func TestFaultDelayAction(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Plan{Action: Delay, Delay: 20 * time.Millisecond, Nth: 1})
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestFaultDisarmLeavesOthersArmed(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("a", Plan{Action: Error, Err: errors.New("a"), Every: 1})
+	Arm("b", Plan{Action: Error, Err: errors.New("b"), Every: 1})
+	Disarm("a")
+	if Hit("a") != nil {
+		t.Fatal("disarmed point still fires")
+	}
+	if Hit("b") == nil {
+		t.Fatal("unrelated point was disarmed")
+	}
+}

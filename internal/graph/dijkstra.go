@@ -1,5 +1,7 @@
 package graph
 
+import "fpgarouter/internal/faultpoint"
+
 // SPT is a single-source shortest-paths tree produced by Dijkstra.
 //
 // Dist[v] is the cost of a shortest path from Source to v (Inf if v is
@@ -88,6 +90,7 @@ func (g *Graph) DijkstraWithin(src NodeID, stop []NodeID) *SPT {
 // returned SPT comes off its free list, so a warm scratch runs without
 // allocating. A nil stop slice settles the whole graph.
 func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT {
+	faultpoint.Check(faultpoint.SSSPExpand)
 	n := g.n
 	ep := s.beginRun(n)
 	t := s.acquireSPT(n, src)

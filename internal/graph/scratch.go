@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DijkstraScratch pools the per-run working state of Dijkstra searches:
 // the binary heap, the settled/stop-set marks (reset in O(1) by bumping an
@@ -47,14 +50,42 @@ func NewDijkstraScratch() *DijkstraScratch { return new(DijkstraScratch) }
 
 var scratchPool = sync.Pool{New: func() any { return new(DijkstraScratch) }}
 
+// liveScratches counts scratches checked out of the pool and not yet
+// released or discarded. The chaos tests assert it returns to its baseline
+// after panics and cancellations, proving no pool entry is leaked (or,
+// worse, double-released) by any failure path.
+var liveScratches atomic.Int64
+
+// LiveScratches reports how many pooled scratches are currently checked
+// out. Observability for leak tests; production code has no reason to read
+// it.
+func LiveScratches() int64 { return liveScratches.Load() }
+
 // AcquireScratch takes a scratch from the process-wide pool. Pair with
-// ReleaseScratch when the routing context that owns it is done.
-func AcquireScratch() *DijkstraScratch { return scratchPool.Get().(*DijkstraScratch) }
+// ReleaseScratch (or, after a panic that may have interrupted a run on it,
+// DiscardScratch) when the routing context that owns it is done.
+func AcquireScratch() *DijkstraScratch {
+	liveScratches.Add(1)
+	return scratchPool.Get().(*DijkstraScratch)
+}
 
 // ReleaseScratch returns a scratch (and every SPT recycled into it) to the
 // pool. The caller must not use the scratch, or any SPT obtained through a
 // cache backed by it and since released, after this call.
-func ReleaseScratch(s *DijkstraScratch) { scratchPool.Put(s) }
+func ReleaseScratch(s *DijkstraScratch) {
+	liveScratches.Add(-1)
+	scratchPool.Put(s)
+}
+
+// DiscardScratch drops a scratch without returning it to the pool: the
+// fault-tolerance layer calls this for scratches whose owning goroutine
+// panicked mid-run, trading a little garbage for the certainty that no
+// possibly-inconsistent buffers re-enter the pool.
+func DiscardScratch(s *DijkstraScratch) {
+	if s != nil {
+		liveScratches.Add(-1)
+	}
+}
 
 // beginRun sizes the mark arrays for an n-node graph and opens a fresh
 // epoch, invalidating all done/stop marks in O(1).

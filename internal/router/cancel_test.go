@@ -65,8 +65,11 @@ func TestMinWidthContextDeadline(t *testing.T) {
 	cc, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	begin := time.Now()
-	_, _, err := MinWidthContext(cc, ctx, ckt, 1, Options{MaxPasses: 20})
+	_, _, complete, err := MinWidthContext(cc, ctx, ckt, 1, Options{MaxPasses: 20})
 	elapsed := time.Since(begin)
+	if complete {
+		t.Fatal("deadline-interrupted search reported complete=true")
+	}
 	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want ErrCanceled+DeadlineExceeded, got %v", err)
 	}
@@ -101,7 +104,7 @@ func TestMinWidthContextCancelMidBatch(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 		cancel()
 	}()
-	_, _, err := MinWidthContext(cc, nil, ckt, 1, Options{MaxPasses: 20, WidthProbes: 3})
+	_, _, _, err := MinWidthContext(cc, nil, ckt, 1, Options{MaxPasses: 20, WidthProbes: 3})
 	if err != nil && !errors.Is(err, ErrCanceled) {
 		t.Fatalf("mid-batch cancellation produced a non-canceled error: %v", err)
 	}

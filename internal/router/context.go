@@ -78,6 +78,18 @@ func (ctx *Context) Close() {
 	}
 }
 
+// Discard abandons the context without recycling its scratch: the
+// fault-tolerance layer calls this instead of Close when a panic may have
+// interrupted a routing run mid-flight, so possibly-inconsistent buffers
+// never re-enter the process-wide pool. The service rebuilds a fresh
+// context for the worker afterwards.
+func (ctx *Context) Discard() {
+	if ctx != nil && ctx.scratch != nil {
+		graph.DiscardScratch(ctx.scratch)
+		ctx.scratch = nil
+	}
+}
+
 // child derives a context for one worker goroutine of a parallel search:
 // its own scratch, the shared stats collector and cancellation signal.
 // Close it when the worker is done.

@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/faultpoint"
 )
 
 // MinWidth finds the smallest channel width at which the circuit routes
@@ -62,19 +64,42 @@ func probeBatch(ctx *Context, ckt *circuits.Circuit, ws []int, opts Options) []p
 		out[0] = probeOut{res, err}
 		return out
 	}
+	panics := make([]*faultpoint.GoroutinePanic, len(ws))
 	var wg sync.WaitGroup
 	for i, w := range ws {
 		wg.Add(1)
 		go func(i, w int) {
 			defer wg.Done()
 			child := ctx.child()
-			defer child.Close()
+			defer func() {
+				// A probe panic must not escape its goroutine (it would kill
+				// the process, bypassing the service's per-job recover):
+				// capture it — stack included — for the barrier to re-raise,
+				// and discard the child's scratch instead of pooling it.
+				if p := recover(); p != nil {
+					gp, ok := p.(*faultpoint.GoroutinePanic)
+					if !ok {
+						gp = &faultpoint.GoroutinePanic{Value: p, Stack: debug.Stack()}
+					}
+					panics[i] = gp
+					child.Discard()
+					return
+				}
+				child.Close()
+			}()
 			child.Stats.AddWidthProbe()
 			res, err := RouteCtx(child, ckt, w, opts)
 			out[i] = probeOut{res, err}
 		}(i, w)
 	}
 	wg.Wait()
+	// Re-raise the lowest-indexed probe panic on the owning goroutine
+	// (deterministic when several probes fail the same batch).
+	for _, gp := range panics {
+		if gp != nil {
+			panic(gp)
+		}
+	}
 	return out
 }
 
@@ -83,13 +108,19 @@ func probeBatch(ctx *Context, ckt *circuits.Circuit, ws []int, opts Options) []p
 // a cancellation (or deadline) abandons the whole batch at the probes' next
 // pass/net boundary instead of letting width probes run to completion. The
 // returned error matches both ErrCanceled and cc's cause under errors.Is.
-// ctx may be nil; as in RouteContext it is bound to cc only for this call.
-func MinWidthContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, start int, opts Options) (int, *Result, error) {
+//
+// The search degrades gracefully: complete reports whether it ran to the
+// true minimum. When interrupted, the returned width and Result are the
+// best feasible width found so far (complete=false), or 0/nil if no width
+// had routed yet. ctx may be nil; as in RouteContext it is bound to cc only
+// for this call.
+func MinWidthContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, start int, opts Options) (w int, res *Result, complete bool, err error) {
 	ctx, done := ensureContext(ctx)
 	defer done()
 	restore := ctx.bind(cc)
 	defer restore()
-	return MinWidthCtx(ctx, ckt, start, opts)
+	w, res, err = MinWidthCtx(ctx, ckt, start, opts)
+	return w, res, err == nil, err
 }
 
 // MinWidthCtx is MinWidth with an explicit routing context (nil for an
@@ -98,6 +129,10 @@ func MinWidthContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, st
 // results are consumed in the order the sequential search visits them, which
 // makes the returned (width, Result, error) triple independent of
 // WidthProbes and of goroutine scheduling.
+//
+// A run canceled during the shrink phase returns the best feasible width
+// found so far alongside the error (matching ErrCanceled under errors.Is);
+// one canceled before any width routed returns (0, nil, err).
 func MinWidthCtx(ctx *Context, ckt *circuits.Circuit, start int, opts Options) (int, *Result, error) {
 	ctx, done := ensureContext(ctx)
 	defer done()
@@ -143,7 +178,7 @@ grow:
 	// exactly where the sequential walk stops.
 	for w > 1 {
 		if err := ctx.checkCanceled(); err != nil {
-			return 0, nil, err
+			return w, lastGood, err
 		}
 		lo := w - par
 		if lo < 1 {
@@ -163,6 +198,11 @@ grow:
 			if errors.Is(p.err, ErrUnroutable) {
 				stop = true
 				break
+			}
+			if errors.Is(p.err, ErrCanceled) {
+				// Graceful degradation: a feasible width is in hand, so an
+				// interruption surrenders the refinement, not the answer.
+				return w, lastGood, p.err
 			}
 			return 0, nil, p.err
 		}
@@ -201,13 +241,17 @@ func MinWidthSeq(ctx *Context, ckt *circuits.Circuit, start int, opts Options) (
 			return 0, nil, fmt.Errorf("router: %s unroutable up to width %d", ckt.Name, w)
 		}
 	}
-	// Shrink while routable.
+	// Shrink while routable. As in MinWidthCtx, cancellation mid-shrink
+	// returns the best feasible width found so far alongside the error.
 	for w > 1 {
 		ctx.Stats.AddWidthProbe()
 		res, err := RouteCtx(ctx, ckt, w-1, opts)
 		if err != nil {
 			if errors.Is(err, ErrUnroutable) {
 				break
+			}
+			if errors.Is(err, ErrCanceled) {
+				return w, lastGood, err
 			}
 			return 0, nil, err
 		}

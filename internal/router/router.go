@@ -20,6 +20,7 @@ import (
 	"fpgarouter/internal/arbor"
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/core"
+	"fpgarouter/internal/faultpoint"
 	"fpgarouter/internal/fpga"
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/steiner"
@@ -161,6 +162,16 @@ type NetResult struct {
 // Result is the outcome of routing one circuit at one channel width. The
 // JSON tags define the service wire format; a Result round-trips through
 // encoding/json bit-identically (see the wire-format tests).
+//
+// A Result is either complete (Routed true, every net carries a tree) or
+// partial (Partial true): the best rip-up/re-route attempt available when
+// the run was interrupted by cancellation, a deadline, an injected fault,
+// or the pass limit. Partial results are well-formed — Nets holds real
+// trees for exactly the nets counted by RoutedNets, FailedNets lists the
+// rest — but MaxUtil is not computed (the fabric had moved past the
+// snapshotted pass). Success-path results are byte-identical to what this
+// package returned before partial results existed: Partial and RoutedNets
+// are only ever set on failure paths.
 type Result struct {
 	Routed     bool        `json:"routed"`
 	Width      int         `json:"width"`
@@ -169,12 +180,20 @@ type Result struct {
 	MaxPathSum float64     `json:"max_path_sum"` // sum over nets of max source-sink pathlength
 	MaxUtil    int         `json:"max_util"`     // maximum wires claimed in any channel span
 	Nets       []NetResult `json:"nets"`
-	FailedNets []int       `json:"failed_nets,omitempty"` // net IDs that failed in the last attempted pass
+	FailedNets []int       `json:"failed_nets,omitempty"` // net IDs without a tree in this result
+	// Partial marks a best-effort result returned alongside a non-nil error
+	// (graceful degradation): the run did not complete, but the nets below
+	// did route.
+	Partial bool `json:"partial,omitempty"`
+	// RoutedNets counts the nets carrying a tree in a partial result (the
+	// success path leaves it 0 — every net routed, see Routed).
+	RoutedNets int `json:"routed_nets,omitempty"`
 }
 
 // Route attempts to route every net of the circuit at channel width w.
 // On success the result carries per-net trees and metrics; on failure it
-// returns ErrUnroutable along with the last pass's failure set.
+// returns ErrUnroutable along with a partial Result — the best pass's
+// routed trees and failure set (see Result.Partial).
 func Route(ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
 	return RouteCtx(nil, ckt, w, opts)
 }
@@ -190,9 +209,12 @@ func RouteCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result
 // RouteContext is RouteCtx with cooperative cancellation: the run checks cc
 // at pass and per-net boundaries and aborts with an error matching both
 // ErrCanceled and cc's cause (context.Canceled or context.DeadlineExceeded)
-// under errors.Is. ctx may be nil for an ephemeral routing context; it is
-// bound to cc only for the duration of the call, so a worker can reuse one
-// long-lived routing context across jobs with per-job cancellation.
+// under errors.Is. An aborted run degrades gracefully: alongside the error
+// it returns the best partial Result so far (nil only if nothing routed
+// yet; see Result.Partial). ctx may be nil for an ephemeral routing
+// context; it is bound to cc only for the duration of the call, so a
+// worker can reuse one long-lived routing context across jobs with per-job
+// cancellation.
 func RouteContext(cc context.Context, ctx *Context, ckt *circuits.Circuit, w int, opts Options) (*Result, error) {
 	res, _, err := RouteWithFabricContext(cc, ctx, ckt, w, opts)
 	return res, err
@@ -233,6 +255,36 @@ func RouteWithFabricCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options
 	return res, fab, err
 }
 
+// snapshotPartial copies the current attempt into a self-contained partial
+// Result: per-net trees for what did route, the failure list, and metrics
+// aggregated over the routed nets only. The Nets slice is copied shallowly —
+// trees are immutable once built, only the slice itself is overwritten by
+// later passes.
+func snapshotPartial(res *Result, routed int, failed []int) *Result {
+	p := &Result{
+		Width:      res.Width,
+		Passes:     res.Passes,
+		Partial:    true,
+		RoutedNets: routed,
+		Nets:       append([]NetResult(nil), res.Nets...),
+		FailedNets: append([]int(nil), failed...),
+	}
+	// A mid-pass snapshot can list nets as failed whose res.Nets entry
+	// still holds a tree committed by an earlier pass (the current pass
+	// never reached them): zero those entries so the snapshot is
+	// self-consistent before aggregating metrics over what remains.
+	for _, idx := range p.FailedNets {
+		if idx >= 0 && idx < len(p.Nets) {
+			p.Nets[idx] = NetResult{}
+		}
+	}
+	for _, nr := range p.Nets {
+		p.Wirelength += nr.Wirelength
+		p.MaxPathSum += nr.MaxPath
+	}
+	return p
+}
+
 func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts Options) (*Result, error) {
 	crit := opts.criticalSet()
 	order := initialOrder(ckt)
@@ -259,9 +311,28 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 	}
 	res := &Result{Width: fab.W, Nets: make([]NetResult, len(ckt.Nets))}
 	st := ctx.Stats
+	// best is the snapshot of the best attempt so far (most routed nets,
+	// latest pass winning ties) — what the caller gets, marked Partial,
+	// when the run ends without a fully routed pass. nil until at least one
+	// net has routed.
+	var best *Result
+	bestRouted := -1
+	// interrupted builds the partial result for an abandoned run: the
+	// better of the best completed pass and the current mid-pass state
+	// (routed nets so far; everything unattempted counts as failed).
+	interrupted := func(routed int, failed, unattempted []int) *Result {
+		if routed >= bestRouted && routed > 0 {
+			all := append(append([]int(nil), failed...), unattempted...)
+			return snapshotPartial(res, routed, all)
+		}
+		return best
+	}
 	for pass := 1; pass <= opts.MaxPasses; pass++ {
 		if err := ctx.checkCanceled(); err != nil {
-			return nil, err
+			return best, err
+		}
+		if err := faultpoint.Hit(faultpoint.PassBoundary); err != nil {
+			return best, err
 		}
 		res.Passes = pass
 		st.AddPass()
@@ -274,10 +345,11 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 			}
 		}
 		var failed []int
+		routed := 0
 		ok := true
-		for _, idx := range order {
+		for k, idx := range order {
 			if err := ctx.checkCanceled(); err != nil {
-				return nil, err
+				return interrupted(routed, failed, order[k:]), err
 			}
 			// This net is being routed now: release its reservations so
 			// they do not repel its own route.
@@ -298,6 +370,7 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 			if err != nil {
 				ok = false
 				failed = append(failed, idx)
+				res.Nets[idx] = NetResult{} // drop any tree from an earlier pass
 				continue
 			}
 			fab.CommitNet(tree)
@@ -308,6 +381,7 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 				Wirelength: fab.BaseWirelength(tree),
 				MaxPath:    fab.MaxPathlength(tree, src, sinks),
 			}
+			routed++
 		}
 		if ok {
 			res.Routed = true
@@ -323,12 +397,20 @@ func routeOnFabric(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 		}
 		res.FailedNets = failed
 		st.AddRipUps(int64(len(failed)))
+		if routed >= bestRouted {
+			bestRouted = routed
+			best = snapshotPartial(res, routed, failed)
+		}
 		if !opts.NoMoveToFront {
 			order = moveToFront(order, failed)
 		}
 	}
-	return res, fmt.Errorf("%w (width %d, %d failed nets after %d passes)",
-		ErrUnroutable, fab.W, len(res.FailedNets), opts.MaxPasses)
+	failedCount := 0
+	if best != nil {
+		failedCount = len(best.FailedNets)
+	}
+	return best, fmt.Errorf("%w (width %d, %d failed nets after %d passes)",
+		ErrUnroutable, fab.W, failedCount, opts.MaxPasses)
 }
 
 // maxPool caps the Steiner-candidate pool per net; larger pools are

@@ -1,0 +1,70 @@
+// Typed error taxonomy of the service layer. Every error the service
+// surfaces is tagged with exactly one class, and the HTTP layer maps
+// classes — not individual errors — to status codes:
+//
+//	ErrBadRequest → 400  the request can never succeed as written
+//	ErrTransient  → 503  expected to clear on retry (saturation, drain,
+//	                     worker churn, injected faults)
+//	ErrTerminal   → 500  an internal failure retries will not fix
+//
+// Classification composes with errors.Is/As rather than string matching,
+// and Classify preserves the wrapped error's message verbatim so wire
+// bodies stay human-readable.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Taxonomy classes. These are never returned bare; they are matched with
+// errors.Is against classified errors.
+var (
+	ErrBadRequest = errors.New("service: bad request")
+	ErrTransient  = errors.New("service: transient failure")
+	ErrTerminal   = errors.New("service: terminal failure")
+)
+
+// classified tags an error with a taxonomy class without altering its
+// message: Error() is the wrapped error's text, while errors.Is sees both
+// the class and the original error through Unwrap.
+type classified struct {
+	class error
+	err   error
+}
+
+func (c *classified) Error() string   { return c.err.Error() }
+func (c *classified) Unwrap() []error { return []error{c.class, c.err} }
+
+// Classify tags err with one of the taxonomy classes above.
+func Classify(class, err error) error { return &classified{class: class, err: err} }
+
+// httpStatus maps a classified error to its wire status code. Unclassified
+// errors are conservatively treated as terminal: an untagged failure is a
+// bug in the service, not the client's fault.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrTransient):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// PanicError is what a recovered worker panic becomes: the panic value plus
+// the stack captured on the panicking goroutine. It classifies as transient
+// — the poisoned routing context is discarded and rebuilt, and the job is
+// retried up to its budget; exhausted retries land the job in StateFailed
+// with the stack attached to its status.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("worker panic: %v", e.Value) }
+
+// Unwrap tags every recovered panic as transient.
+func (e *PanicError) Unwrap() error { return ErrTransient }

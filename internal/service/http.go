@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the service's HTTP API:
@@ -11,9 +12,13 @@ import (
 //	POST /jobs             submit a job (SubmitRequest → 202 Status)
 //	GET  /jobs             list all jobs in submission order
 //	GET  /jobs/{id}        job status
-//	GET  /jobs/{id}/result routing result (409 until the job is done)
+//	GET  /jobs/{id}/result routing result (409 until a result exists; a
+//	                       partial result of an interrupted job is served
+//	                       with complete=false)
 //	POST /jobs/{id}/cancel request cancellation
-//	GET  /healthz          liveness and pool occupancy
+//	GET  /healthz          liveness and pool occupancy (always 200 while
+//	                       the process serves)
+//	GET  /readyz           readiness: 503 while draining or saturated
 //	GET  /metrics          Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -23,6 +28,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -53,15 +59,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.Submit(&req)
-	switch {
-	case err == nil:
+	if err == nil {
 		writeJSON(w, http.StatusAccepted, st)
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
+		return
 	}
+	code := httpStatus(err)
+	if code == http.StatusServiceUnavailable {
+		// Estimated queue drain time, not a hard-coded constant: depth ×
+		// recent mean job time ÷ workers, clamped (see retryAfterFor).
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, code, err)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +122,10 @@ type healthBody struct {
 	QueueCapacity int    `json:"queue_capacity"`
 }
 
+// handleHealthz is pure liveness: 200 as long as the process can answer,
+// even while draining — restarting a pod because it is shutting down
+// gracefully would defeat the drain. Orchestrators should route traffic on
+// /readyz and restart on /healthz.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := healthBody{
 		Status:        "ok",
@@ -122,10 +134,39 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueuedJobs:    len(s.queue),
 		QueueCapacity: s.cfg.QueueDepth,
 	}
-	code := http.StatusOK
 	if s.Draining() {
 		h.Status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, h)
+	writeJSON(w, http.StatusOK, h)
+}
+
+// readyBody is the GET /readyz response.
+type readyBody struct {
+	Ready         bool   `json:"ready"`
+	Reason        string `json:"reason,omitempty"` // why not ready
+	QueuedJobs    int    `json:"queued_jobs"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// handleReadyz reports whether the service can usefully accept a new job:
+// not during shutdown drain, and not while the queue is saturated (a
+// submission now would be rejected with 503 anyway).
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	b := readyBody{
+		Ready:         true,
+		QueuedJobs:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+	}
+	switch {
+	case s.Draining():
+		b.Ready, b.Reason = false, "draining"
+	case b.QueuedJobs >= b.QueueCapacity:
+		b.Ready, b.Reason = false, "queue saturated"
+	}
+	code := http.StatusOK
+	if !b.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeJSON(w, code, b)
 }

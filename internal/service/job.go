@@ -59,11 +59,36 @@ type SubmitRequest struct {
 	StartWidth int `json:"start_width,omitempty"`
 	// TimeoutMs bounds the job's execution time, measured from the moment
 	// a worker starts it; past the deadline the run is abandoned at the
-	// next pass/net boundary and the job ends canceled. 0 = no deadline.
+	// next pass/net boundary and the job ends canceled (carrying any
+	// partial result). 0 = no deadline; negative or beyond MaxTimeoutMs is
+	// rejected.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MaxRetries bounds how many times a transiently failing attempt
+	// (recovered panic, injected transient fault) is retried. 0 selects the
+	// default (2); negative disables retries; values above 10 are clamped.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMs is the base backoff before the first retry, doubled
+	// per attempt with jitter. 0 selects the default (50); negative means
+	// no backoff; values above 60000 are clamped.
+	RetryBackoffMs int64 `json:"retry_backoff_ms,omitempty"`
 	// Options configures the router (JSON tags on router.Options).
 	Options router.Options `json:"options"`
 }
+
+// Wire-format bounds and defaults for the fields above.
+const (
+	// MaxTimeoutMs caps timeout_ms at 24 hours; anything beyond is a
+	// misconfigured client, rejected rather than silently truncated.
+	MaxTimeoutMs = int64(24 * time.Hour / time.Millisecond)
+	// DefaultMaxRetries is the retry budget when max_retries is 0.
+	DefaultMaxRetries = 2
+	// MaxMaxRetries clamps max_retries.
+	MaxMaxRetries = 10
+	// DefaultRetryBackoffMs is the base backoff when retry_backoff_ms is 0.
+	DefaultRetryBackoffMs = int64(50)
+	// MaxRetryBackoffMs clamps retry_backoff_ms.
+	MaxRetryBackoffMs = int64(60_000)
+)
 
 // Status is the GET /jobs/{id} body (and the POST /jobs response).
 type Status struct {
@@ -75,16 +100,31 @@ type Status struct {
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	Error       string     `json:"error,omitempty"`
-	// Width is the routed (or minimum) channel width once the job is done.
+	// Width is the routed (or minimum) channel width once the job is done —
+	// or, for an interrupted job holding a partial result, the best width
+	// reached before the interruption.
 	Width int `json:"width,omitempty"`
+	// Attempts counts executions of the job including retries (1 = no
+	// retry was needed; 0 = never ran).
+	Attempts int `json:"attempts,omitempty"`
+	// Stack is the recovered goroutine stack when the job failed from a
+	// panic after exhausting its retry budget.
+	Stack string `json:"stack,omitempty"`
 }
 
-// ResultResponse is the GET /jobs/{id}/result body.
+// ResultResponse is the GET /jobs/{id}/result body. Complete distinguishes
+// a finished job's full answer from the best partial result of a job that
+// was canceled, timed out, or failed mid-run (graceful degradation): for a
+// partial minwidth result, Width is the best feasible width found before
+// the interruption; for a partial route result, Result.Partial is set and
+// Result.FailedNets lists the nets without trees.
 type ResultResponse struct {
-	ID     string         `json:"id"`
-	Mode   Mode           `json:"mode"`
-	Width  int            `json:"width"`
-	Result *router.Result `json:"result"`
+	ID       string         `json:"id"`
+	Mode     Mode           `json:"mode"`
+	Width    int            `json:"width"`
+	Complete bool           `json:"complete"`
+	Error    string         `json:"error,omitempty"` // why the result is partial
+	Result   *router.Result `json:"result"`
 }
 
 // Job is one queued or executing routing request. The circuit is resolved
@@ -96,6 +136,8 @@ type Job struct {
 	opts    router.Options
 	width   int // route mode: channel width; minwidth mode: start width
 	timeout time.Duration
+	retries int           // transient-failure retry budget
+	backoff time.Duration // base backoff before the first retry
 
 	ctx    context.Context // canceled by Cancel, shutdown, or job timeout
 	cancel context.CancelFunc
@@ -103,7 +145,10 @@ type Job struct {
 	mu        sync.Mutex
 	state     State
 	err       string
+	stack     string // recovered panic stack, when the job failed from one
 	result    *router.Result
+	complete  bool // result is a finished answer, not a partial snapshot
+	attempts  int
 	outWidth  int
 	submitted time.Time
 	started   time.Time
@@ -122,10 +167,33 @@ func resolveJob(req *SubmitRequest) (*Job, error) {
 	if req.TimeoutMs < 0 {
 		return nil, errors.New("timeout_ms must be non-negative")
 	}
+	if req.TimeoutMs > MaxTimeoutMs {
+		return nil, fmt.Errorf("timeout_ms must be at most %d (24h)", MaxTimeoutMs)
+	}
+	retries := req.MaxRetries
+	switch {
+	case retries == 0:
+		retries = DefaultMaxRetries
+	case retries < 0:
+		retries = 0
+	case retries > MaxMaxRetries:
+		retries = MaxMaxRetries
+	}
+	backoffMs := req.RetryBackoffMs
+	switch {
+	case backoffMs == 0:
+		backoffMs = DefaultRetryBackoffMs
+	case backoffMs < 0:
+		backoffMs = 0
+	case backoffMs > MaxRetryBackoffMs:
+		backoffMs = MaxRetryBackoffMs
+	}
 	job := &Job{
 		mode:    req.Mode,
 		opts:    req.Options,
 		timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		retries: retries,
+		backoff: time.Duration(backoffMs) * time.Millisecond,
 		state:   StateQueued,
 	}
 	paperBest := 0
@@ -196,23 +264,35 @@ func (j *Job) begin() bool {
 }
 
 // finish records the run's outcome, classifying cancellation (including
-// deadline expiry) separately from routing failure.
-func (j *Job) finish(width int, res *router.Result, err error) State {
+// deadline expiry) separately from routing failure. An interrupted or
+// failed run that still produced a partial result keeps it, so GET
+// /jobs/{id}/result can serve the best-effort answer with complete=false.
+func (j *Job) finish(width int, res *router.Result, err error, attempts int) State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
+	j.attempts = attempts
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.outWidth = width
 		j.result = res
+		j.complete = true
 	case errors.Is(err, router.ErrCanceled), errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.err = err.Error()
+		j.result = res
+		j.outWidth = width
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+		j.result = res
+		j.outWidth = width
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			j.stack = string(pe.Stack)
+		}
 	}
 	return j.state
 }
@@ -236,6 +316,8 @@ func (j *Job) Status() Status {
 		SubmittedAt: j.submitted,
 		Error:       j.err,
 		Width:       j.outWidth,
+		Attempts:    j.attempts,
+		Stack:       j.stack,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -248,12 +330,26 @@ func (j *Job) Status() Status {
 	return st
 }
 
-// Result returns the routing result once the job is done.
+// Result returns the routing result once the job is terminal: the full
+// answer of a done job (Complete true), or the best partial result of a
+// canceled/failed one (Complete false, Error explaining why). A terminal
+// job with nothing routed — and any job still queued or running — has no
+// result to serve.
 func (j *Job) Result() (ResultResponse, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != StateDone {
+	if !j.state.terminal() || j.result == nil {
 		return ResultResponse{}, fmt.Errorf("job %s is %s, not %s", j.id, j.state, StateDone)
 	}
-	return ResultResponse{ID: j.id, Mode: j.mode, Width: j.outWidth, Result: j.result}, nil
+	rr := ResultResponse{
+		ID:       j.id,
+		Mode:     j.mode,
+		Width:    j.outWidth,
+		Complete: j.complete,
+		Result:   j.result,
+	}
+	if !j.complete {
+		rr.Error = j.err
+	}
+	return rr, nil
 }

@@ -15,11 +15,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fpgarouter/internal/faultpoint"
 	"fpgarouter/internal/router"
 	"fpgarouter/internal/stats"
 )
@@ -50,11 +53,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Submission failure modes, distinguished so the HTTP layer can map them to
-// 503 (retryable) versus 400 (bad request).
+// Submission failure modes, tagged transient in the error taxonomy (see
+// errors.go) so the HTTP layer maps them to 503 with a Retry-After.
 var (
-	ErrQueueFull = errors.New("service: job queue full")
-	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
+	ErrQueueFull = Classify(ErrTransient, errors.New("service: job queue full"))
+	ErrDraining  = Classify(ErrTransient, errors.New("service: shutting down, not accepting jobs"))
 )
 
 // Service is a running routing service: worker pool, bounded queue, and
@@ -79,7 +82,17 @@ type Service struct {
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	completed [3]atomic.Int64 // done, failed, canceled
+
+	// durMu guards the ring of recent job wall times feeding the computed
+	// Retry-After of saturation 503s.
+	durMu    sync.Mutex
+	durRing  [jobDurationWindow]time.Duration
+	durCount int
 }
+
+// jobDurationWindow sizes the recent-job-duration ring: enough samples to
+// smooth one noisy job, few enough to track load shifts quickly.
+const jobDurationWindow = 16
 
 // indices into Service.completed.
 const (
@@ -114,11 +127,12 @@ func (s *Service) Stats() *stats.Collector { return s.stats }
 
 // Submit validates and admits a routing job, returning its queued status.
 // It fails with ErrDraining after Shutdown began, ErrQueueFull when the
-// bounded queue has no room, and a validation error for bad requests.
+// bounded queue has no room, and an ErrBadRequest-classified validation
+// error for malformed requests.
 func (s *Service) Submit(req *SubmitRequest) (Status, error) {
 	job, err := resolveJob(req)
 	if err != nil {
-		return Status{}, err
+		return Status{}, Classify(ErrBadRequest, err)
 	}
 	job.ctx, job.cancel = context.WithCancel(s.base)
 	job.submitted = time.Now()
@@ -209,27 +223,33 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker is one pool goroutine: it owns a router.Context for its lifetime
-// (pooled scratch reused across jobs) and executes queued jobs until the
-// queue closes.
+// worker is one pool goroutine: it owns a router.Context across jobs
+// (pooled scratch reused job to job) and executes queued jobs until the
+// queue closes. run returns a replacement context when a job's panic
+// poisoned the old one, so the closure-captured rc is always live.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	rc := router.NewContext(s.stats)
-	defer rc.Close()
+	defer func() { rc.Close() }()
 	for job := range s.queue {
-		s.run(rc, job)
+		rc = s.run(rc, job)
 	}
 }
 
-// run executes one job on the worker's routing context.
-func (s *Service) run(rc *router.Context, job *Job) {
+// run executes one job on the worker's routing context, retrying transient
+// failures (recovered panics, injected transient faults) with exponential
+// backoff + jitter up to the job's retry budget. It returns the routing
+// context the worker should keep: the one passed in, or a fresh one if a
+// panic forced a discard.
+func (s *Service) run(rc *router.Context, job *Job) *router.Context {
 	if !job.begin() {
 		// Canceled while queued (explicitly or by shutdown's grace expiry).
 		s.completed[cCanceled].Add(1)
-		return
+		return rc
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	start := time.Now()
 	cc := job.ctx
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
@@ -237,20 +257,40 @@ func (s *Service) run(rc *router.Context, job *Job) {
 		defer cancel()
 	}
 	var (
-		res   *router.Result
-		width int
-		err   error
+		res      *router.Result
+		width    int
+		err      error
+		attempts int
 	)
-	switch job.mode {
-	case ModeRoute:
-		res, err = router.RouteContext(cc, rc, job.ckt, job.width, job.opts)
-		if res != nil {
-			width = res.Width
+	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
+		var panicked bool
+		width, res, err, panicked = s.attempt(rc, cc, job)
+		if panicked {
+			// The panic may have interrupted pooled-scratch bookkeeping
+			// mid-flight: discard the context wholesale and rebuild, so the
+			// process-wide pool never sees a possibly-inconsistent entry.
+			s.stats.AddJobPanic()
+			rc.Discard()
+			rc = router.NewContext(s.stats)
 		}
-	case ModeMinWidth:
-		width, res, err = router.MinWidthContext(cc, rc, job.ckt, job.width, job.opts)
+		if err == nil || attempt >= job.retries || !errors.Is(err, ErrTransient) {
+			break
+		}
+		s.stats.AddJobRetry()
+		if !sleepBackoff(cc, job.backoff, attempt) {
+			// Canceled while backing off: surface the cancellation, keeping
+			// the transient error as context.
+			err = fmt.Errorf("%w during retry backoff (last error: %w): %w",
+				router.ErrCanceled, err, context.Cause(cc))
+			break
+		}
 	}
-	switch job.finish(width, res, err) {
+	if err != nil && res != nil {
+		s.stats.AddPartialResult()
+	}
+	s.observeJobDuration(time.Since(start))
+	switch job.finish(width, res, err, attempts) {
 	case StateDone:
 		s.completed[cDone].Add(1)
 	case StateFailed:
@@ -258,4 +298,111 @@ func (s *Service) run(rc *router.Context, job *Job) {
 	default:
 		s.completed[cCanceled].Add(1)
 	}
+	return rc
+}
+
+// attempt executes one try of the job under panic isolation: a panic on the
+// worker (or funneled up from a scan/probe goroutine, see
+// faultpoint.GoroutinePanic) is converted into a transient PanicError
+// instead of unwinding past the job and killing the daemon.
+func (s *Service) attempt(rc *router.Context, cc context.Context, job *Job) (width int, res *router.Result, err error, panicked bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = true
+			width, res = 0, nil
+			if gp, ok := p.(*faultpoint.GoroutinePanic); ok {
+				err = &PanicError{Value: gp.Value, Stack: gp.Stack}
+			} else {
+				err = &PanicError{Value: p, Stack: debug.Stack()}
+			}
+		}
+	}()
+	faultpoint.Check(faultpoint.ServiceWorker)
+	switch job.mode {
+	case ModeRoute:
+		res, err = router.RouteContext(cc, rc, job.ckt, job.width, job.opts)
+		if res != nil {
+			width = res.Width
+		}
+	case ModeMinWidth:
+		width, res, _, err = router.MinWidthContext(cc, rc, job.ckt, job.width, job.opts)
+	}
+	return width, res, err, false
+}
+
+// sleepBackoff blocks for the attempt's backoff delay — base doubled per
+// attempt, capped, plus up to 50% random jitter to decorrelate retry storms
+// — and reports false if cc was canceled first.
+func sleepBackoff(cc context.Context, base time.Duration, attempt int) bool {
+	if base <= 0 {
+		return cc.Err() == nil
+	}
+	d := base << min(attempt, 10)
+	const maxDelay = 30 * time.Second
+	if d > maxDelay {
+		d = maxDelay
+	}
+	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-cc.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// observeJobDuration feeds one finished job's wall time into the ring
+// behind the computed Retry-After.
+func (s *Service) observeJobDuration(d time.Duration) {
+	s.durMu.Lock()
+	s.durRing[s.durCount%jobDurationWindow] = d
+	s.durCount++
+	s.durMu.Unlock()
+}
+
+// meanJobDuration averages the recent-job ring (zero with no samples yet).
+func (s *Service) meanJobDuration() time.Duration {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	n := min(s.durCount, jobDurationWindow)
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.durRing[i]
+	}
+	return sum / time.Duration(n)
+}
+
+// retryAfterFor estimates, in whole seconds, how long a rejected client
+// should wait before resubmitting: the queue's expected drain time (queued
+// jobs × mean job time ÷ workers), clamped to [1s, 60s]. A pure function of
+// its inputs so the estimate is unit-testable without a live queue.
+func retryAfterFor(queued int, mean time.Duration, workers int) int {
+	if queued < 0 {
+		queued = 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if mean <= 0 {
+		return 1
+	}
+	drain := time.Duration(queued) * mean / time.Duration(workers)
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// retryAfterSeconds is retryAfterFor over the live queue state.
+func (s *Service) retryAfterSeconds() int {
+	return retryAfterFor(len(s.queue), s.meanJobDuration(), s.cfg.Workers)
 }

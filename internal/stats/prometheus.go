@@ -25,6 +25,9 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	counter("candidate_evals_total", "Steiner-candidate evaluations.", s.CandidateEvals)
 	counter("steiner_points_total", "Steiner points admitted.", s.SteinerPoints)
 	counter("parallel_scans_total", "Candidate-scan rounds fanned out over workers.", s.ParallelScans)
+	counter("job_retries_total", "Service-job retries after transient failures.", s.JobRetries)
+	counter("worker_panics_total", "Worker panics recovered by per-job isolation.", s.JobPanics)
+	counter("partial_results_total", "Interrupted runs that returned a partial result.", s.PartialResults)
 
 	fmt.Fprintf(w, "# HELP %s_scan_wall_seconds_total Wall-clock time of parallel candidate scans.\n", prefix)
 	fmt.Fprintf(w, "# TYPE %s_scan_wall_seconds_total counter\n", prefix)

@@ -39,6 +39,9 @@ type Collector struct {
 	parScans     atomic.Int64
 	scanWallNs   atomic.Int64
 	scanCPUNs    atomic.Int64
+	jobRetries   atomic.Int64
+	jobPanics    atomic.Int64
+	partials     atomic.Int64
 	congestion   [CongestionBuckets]atomic.Int64
 }
 
@@ -125,6 +128,32 @@ func (c *Collector) AddScans(n int64, wall, cpu time.Duration) {
 	c.scanCPUNs.Add(cpu.Nanoseconds())
 }
 
+// AddJobRetry records one retry of a transiently failed service job.
+func (c *Collector) AddJobRetry() {
+	if c == nil {
+		return
+	}
+	c.jobRetries.Add(1)
+}
+
+// AddJobPanic records one worker panic recovered by the service's per-job
+// isolation (the routing context involved is discarded, not pooled).
+func (c *Collector) AddJobPanic() {
+	if c == nil {
+		return
+	}
+	c.jobPanics.Add(1)
+}
+
+// AddPartialResult records one interrupted run that still surrendered a
+// partial result (graceful degradation) instead of a bare error.
+func (c *Collector) AddPartialResult() {
+	if c == nil {
+		return
+	}
+	c.partials.Add(1)
+}
+
 // RecordCongestion bins each channel span's utilization fraction
 // (used/width) into the congestion histogram; the router records the final
 // fabric state of each successfully routed circuit.
@@ -160,6 +189,9 @@ type Snapshot struct {
 	ParallelScans  int64
 	ScanWall       time.Duration
 	ScanCPU        time.Duration
+	JobRetries     int64
+	JobPanics      int64
+	PartialResults int64
 	Congestion     [CongestionBuckets]int64
 }
 
@@ -184,6 +216,9 @@ func (c *Collector) Snapshot() Snapshot {
 		ParallelScans:  c.parScans.Load(),
 		ScanWall:       time.Duration(c.scanWallNs.Load()),
 		ScanCPU:        time.Duration(c.scanCPUNs.Load()),
+		JobRetries:     c.jobRetries.Load(),
+		JobPanics:      c.jobPanics.Load(),
+		PartialResults: c.partials.Load(),
 	}
 	for i := range c.congestion {
 		s.Congestion[i] = c.congestion[i].Load()
@@ -206,6 +241,10 @@ func (s Snapshot) String() string {
 			par = float64(s.ScanCPU) / float64(s.ScanWall)
 		}
 		fmt.Fprintf(&b, "  parallel scans     %d (wall %v, cpu %v, parallelism %.2fx)\n", s.ParallelScans, s.ScanWall.Round(time.Microsecond), s.ScanCPU.Round(time.Microsecond), par)
+	}
+	if s.JobRetries+s.JobPanics+s.PartialResults > 0 {
+		fmt.Fprintf(&b, "  fault tolerance    retries %d, recovered panics %d, partial results %d\n",
+			s.JobRetries, s.JobPanics, s.PartialResults)
 	}
 	avg := time.Duration(0)
 	if n := s.NetsRouted + s.NetFailures; n > 0 {
