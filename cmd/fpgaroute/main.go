@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/prof"
 	"fpgarouter/internal/render"
 	"fpgarouter/internal/router"
 	"fpgarouter/internal/stats"
@@ -41,8 +42,25 @@ func main() {
 		useStats = flag.Bool("stats", false, "print router work counters (SSSP runs, rip-ups, congestion histogram)")
 		timeout  = flag.Duration("timeout", 0, "abandon the run after this long (0 = unbounded)")
 		workers  = flag.Int("cand-workers", 0, "candidate-scan worker goroutines per net (0 = GOMAXPROCS capped at 8, 1 = sequential)")
+		single   = flag.Bool("single", false, "single-step Steiner-point admission (one candidate per scan round, the paper's Figure 5 template)")
+		lazy     = flag.Bool("lazy", false, "lazy-greedy candidate scans (stale-gain queue with exactness fallback; far fewer evaluations, wirelength may deviate <0.1%; arms under -single)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// os.Exit skips defers, so every exit path below goes through exit()
+	// to flush the profiles first; the defer covers the normal return.
+	defer stopProf()
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	if *list {
 		fmt.Println("3000-series (Table 2):")
@@ -62,13 +80,13 @@ func main() {
 		f, err := os.Open(*netlist)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		ckt, err = circuits.Parse(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		spec = ckt.Spec
 		if spec.PaperIKMB == 0 {
@@ -79,22 +97,22 @@ func main() {
 		spec, ok = circuits.SpecByName(*name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown circuit %q (try -list)\n", *name)
-			os.Exit(2)
+			exit(2)
 		}
 		var err error
 		ckt, err = circuits.Synthesize(spec, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
-	opts := router.Options{Algorithm: *alg, MaxPasses: *passes, CandidateWorkers: *workers}
+	opts := router.Options{Algorithm: *alg, MaxPasses: *passes, CandidateWorkers: *workers, SingleStep: *single, LazyScan: *lazy}
 	if *critical != "" {
 		for _, tok := range strings.Split(*critical, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "bad -critical net id %q\n", tok)
-				os.Exit(2)
+				exit(2)
 			}
 			opts.CriticalNets = append(opts.CriticalNets, id)
 		}
@@ -123,7 +141,7 @@ func main() {
 		w, res, complete, err := router.MinWidthContext(cc, ctx, ckt, spec.PaperIKMB, opts)
 		if err != nil && res == nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if complete {
 			fmt.Printf("%s: minimum channel width %d (%d passes at that width, %.0f wirelength, %v)\n",
@@ -137,7 +155,7 @@ func main() {
 		}
 		printStats()
 		if !complete {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -153,7 +171,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "partial result: %d/%d nets routed at width %d (%d pass(es), wirelength %.1f)\n",
 				res.RoutedNets, len(res.Nets), w, res.Passes, res.Wirelength)
 		}
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("%s routed at width %d: %d pass(es), wirelength %.1f, max span utilization %d/%d, %v\n",
 		spec.Name, w, res.Passes, res.Wirelength, res.MaxUtil, w, time.Since(start).Round(time.Millisecond))
@@ -164,7 +182,7 @@ func main() {
 	if *svgOut != "" {
 		if err := os.WriteFile(*svgOut, []byte(render.SVG(fab, res)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("SVG written to %s\n", *svgOut)
 	}

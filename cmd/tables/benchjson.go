@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,14 +36,43 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+	// EvalsPerOp and EvalsSavedPerOp are recorded for the CandidateScan
+	// entries: base-heuristic evaluations one operation performs, and how
+	// many the lazy queue avoided versus the exhaustive scan. They come
+	// from one untimed instrumented run (the construction is
+	// deterministic, so every timed iteration does identical work).
+	EvalsPerOp      int64 `json:"evals_per_op,omitempty"`
+	EvalsSavedPerOp int64 `json:"evals_saved_per_op,omitempty"`
 }
 
 // benchFile is the emitted document: results plus enough provenance to
 // compare runs.
 type benchFile struct {
 	GeneratedAt string        `json:"generated_at"`
+	GitCommit   string        `json:"git_commit"`
+	GoVersion   string        `json:"go_version"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Results     []BenchResult `json:"results"`
+}
+
+// gitCommit resolves the commit the binary is benchmarking: the working
+// tree's HEAD when run inside a checkout, else the VCS stamp Go embeds at
+// build time, else "unknown" — entries stay attributable across PRs even
+// when the binary travels without its repository.
+func gitCommit() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, set := range bi.Settings {
+			if set.Key == "vcs.revision" && set.Value != "" {
+				return set.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // benchInstance mirrors the root benchmarks' CPU-time instance shape
@@ -52,12 +84,15 @@ func benchInstance(seed int64) (*graph.Graph, []graph.NodeID) {
 }
 
 // scanInstance is a denser instance sized so one IGMST candidate-scan round
-// does enough base-heuristic work for sharding to be visible (|V| = 400,
-// |E| = 3000, |N| = 8, full-graph candidate pool).
+// does enough base-heuristic work for sharding to be visible, and the net
+// is wide enough that the construction admits several Steiner points —
+// multiple scan rounds are what the lazy queue amortizes its priming scan
+// over (|V| = 400, |E| = 3000, |N| = 12, full-graph candidate pool,
+// 3 admissions at seed 2).
 func scanInstance(seed int64) (*graph.Graph, []graph.NodeID) {
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.RandomConnected(rng, 400, 3000, 10)
-	return g, graph.RandomNet(rng, g, 8)
+	return g, graph.RandomNet(rng, g, 12)
 }
 
 // writeBenchJSON runs the tracked micro-benchmarks and writes path. quick
@@ -78,19 +113,34 @@ func writeBenchJSON(path string, quick bool) error {
 	mwOpts := router.Options{MaxPasses: 6}
 	// benchScan measures the iterated template end-to-end at a fixed worker
 	// count; the Seq/Par pair isolates the candidate-scan parallelization
-	// (identical work, identical results, different fan-out).
-	benchScan := func(workers int) func(b *testing.B) {
+	// (identical work, identical results, different fan-out) and the Lazy
+	// pair isolates the stale-gain queue (identical results on this
+	// fixture — its gains stay diminishing — and far fewer evaluations;
+	// see core.lazyQueue for the exactness contract on instances where
+	// they do not).
+	benchScan := func(workers int, lazy bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			s := graph.NewDijkstraScratch()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cache := graph.NewSPTCache(sg).WithScratch(s)
-				if _, _, err := core.IGMSTStats(cache, snet, steiner.KMB, core.Options{Workers: workers}); err != nil {
+				if _, _, err := core.IGMSTStats(cache, snet, steiner.KMB, core.Options{Workers: workers, Lazy: lazy}); err != nil {
 					b.Fatal(err)
 				}
 				cache.Release()
 			}
 		}
+	}
+	// scanWork instruments one untimed run of the same workload, giving the
+	// evals_per_op/evals_saved_per_op provenance for the scan entries.
+	scanWork := func(workers int, lazy bool) (evals, saved int64) {
+		cache := graph.NewSPTCache(sg)
+		defer cache.Release()
+		_, st, err := core.IGMSTStats(cache, snet, steiner.KMB, core.Options{Workers: workers, Lazy: lazy})
+		if err != nil {
+			return 0, 0
+		}
+		return st.Evaluations, st.EvaluationsSaved
 	}
 	// benchRoute measures the full router on busc at the paper's width.
 	benchRoute := func(workers int) func(b *testing.B) {
@@ -106,9 +156,10 @@ func writeBenchJSON(path string, quick bool) error {
 	type bench struct {
 		name string
 		fn   func(b *testing.B)
+		work func() (evals, saved int64)
 	}
 	benches := []bench{
-		{"BenchmarkIKMB_Pooled", func(b *testing.B) {
+		{name: "BenchmarkIKMB_Pooled", fn: func(b *testing.B) {
 			s := graph.NewDijkstraScratch()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -119,7 +170,7 @@ func writeBenchJSON(path string, quick bool) error {
 				cache.Release()
 			}
 		}},
-		{"BenchmarkIKMB_Unpooled", func(b *testing.B) {
+		{name: "BenchmarkIKMB_Unpooled", fn: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.IKMB(graph.NewSPTCache(g), net); err != nil {
@@ -127,14 +178,16 @@ func writeBenchJSON(path string, quick bool) error {
 				}
 			}
 		}},
-		{"BenchmarkCandidateScanSeq", benchScan(1)},
-		{"BenchmarkCandidateScanPar", benchScan(8)},
+		{name: "BenchmarkCandidateScanSeq", fn: benchScan(1, false), work: func() (int64, int64) { return scanWork(1, false) }},
+		{name: "BenchmarkCandidateScanPar", fn: benchScan(8, false), work: func() (int64, int64) { return scanWork(8, false) }},
+		{name: "BenchmarkCandidateScanLazySeq", fn: benchScan(1, true), work: func() (int64, int64) { return scanWork(1, true) }},
+		{name: "BenchmarkCandidateScanLazyPar", fn: benchScan(8, true), work: func() (int64, int64) { return scanWork(8, true) }},
 	}
 	if !quick {
 		benches = append(benches,
-			bench{"BenchmarkRouteBuscSeq", benchRoute(1)},
-			bench{"BenchmarkRouteBuscPar", benchRoute(8)},
-			bench{"BenchmarkMinWidthParallel", func(b *testing.B) {
+			bench{name: "BenchmarkRouteBuscSeq", fn: benchRoute(1)},
+			bench{name: "BenchmarkRouteBuscPar", fn: benchRoute(8)},
+			bench{name: "BenchmarkMinWidthParallel", fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := router.MinWidth(ckt, 7, mwOpts); err != nil {
@@ -142,7 +195,7 @@ func writeBenchJSON(path string, quick bool) error {
 					}
 				}
 			}},
-			bench{"BenchmarkMinWidthSeq", func(b *testing.B) {
+			bench{name: "BenchmarkMinWidthSeq", fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := router.MinWidthSeq(nil, ckt, 7, mwOpts); err != nil {
@@ -166,19 +219,25 @@ func writeBenchJSON(path string, quick bool) error {
 	}
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitCommit:   gitCommit(),
+		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "bench-json: running %s\n", bench.name)
 		r := testing.Benchmark(bench.fn)
-		out.Results = append(out.Results, BenchResult{
+		res := BenchResult{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			GoMaxProcs:  runtime.GOMAXPROCS(0),
-		})
+		}
+		if bench.work != nil {
+			res.EvalsPerOp, res.EvalsSavedPerOp = bench.work()
+		}
+		out.Results = append(out.Results, res)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

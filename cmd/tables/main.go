@@ -23,32 +23,50 @@ import (
 
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/experiments"
+	"fpgarouter/internal/prof"
 	"fpgarouter/internal/stats"
 )
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1-5)")
-		figure   = flag.Int("figure", 0, "regenerate one figure (4, 10, 11, 14, 16)")
-		all      = flag.Bool("all", false, "regenerate everything")
-		quick    = flag.Bool("quick", false, "reduced nets/passes for a fast smoke run")
-		seed     = flag.Int64("seed", 1, "benchmark synthesis / workload seed")
-		nets     = flag.Int("nets", 50, "nets per Table 1 cell")
-		passes   = flag.Int("passes", 20, "router feasibility pass threshold")
-		svgOut   = flag.String("svg", "", "write the Figure 16 SVG to this file")
-		tradeoff = flag.Bool("tradeoff", false, "run the BRBC / Prim-Dijkstra trade-off study (Section 2 comparison)")
-		segment  = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
-		useStats = flag.Bool("stats", false, "print aggregate router work counters after the sweeps")
+		table      = flag.Int("table", 0, "regenerate one table (1-5)")
+		figure     = flag.Int("figure", 0, "regenerate one figure (4, 10, 11, 14, 16)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		quick      = flag.Bool("quick", false, "reduced nets/passes for a fast smoke run")
+		seed       = flag.Int64("seed", 1, "benchmark synthesis / workload seed")
+		nets       = flag.Int("nets", 50, "nets per Table 1 cell")
+		passes     = flag.Int("passes", 20, "router feasibility pass threshold")
+		svgOut     = flag.String("svg", "", "write the Figure 16 SVG to this file")
+		tradeoff   = flag.Bool("tradeoff", false, "run the BRBC / Prim-Dijkstra trade-off study (Section 2 comparison)")
+		segment    = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
+		useStats   = flag.Bool("stats", false, "print aggregate router work counters after the sweeps")
 		benchOut   = flag.String("bench-json", "", "run the router micro-benchmarks and write JSON results to this file")
 		benchQuick = flag.Bool("bench-quick", false, "with -bench-json: skip the whole-circuit benchmarks (CI smoke subset)")
 		timeout    = flag.Duration("timeout", 0, "abandon the table/figure sweeps after this long (0 = unbounded)")
 		workers    = flag.Int("cand-workers", 0, "candidate-scan worker goroutines per net (0 = GOMAXPROCS capped at 8, 1 = sequential)")
+		singleStep = flag.Bool("single", false, "single-step Steiner-point admission (one candidate per scan round, the paper's Figure 5 template)")
+		lazy       = flag.Bool("lazy", false, "lazy-greedy candidate scans (stale-gain queue with exactness fallback; far fewer evaluations, wirelength may deviate <0.1%; arms under -single)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// os.Exit skips defers, so every exit path below goes through exit()
+	// to flush the profiles first; the defer covers the normal return.
+	defer stopProf()
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 	if *benchOut != "" {
 		if err := writeBenchJSON(*benchOut, *benchQuick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if !*all && *table == 0 && *figure == 0 && !*tradeoff && *segment == "" {
 			return
@@ -56,7 +74,7 @@ func main() {
 	}
 	if !*all && *table == 0 && *figure == 0 && !*tradeoff && *segment == "" && *benchOut == "" {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 	if *quick {
 		if *nets > 15 {
@@ -66,7 +84,7 @@ func main() {
 			*passes = 8
 		}
 	}
-	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes, CandidateWorkers: *workers}
+	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes, CandidateWorkers: *workers, SingleStep: *singleStep, LazyScan: *lazy}
 	if *timeout > 0 {
 		cc, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -82,7 +100,7 @@ func main() {
 		fmt.Printf("=== %s ===\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}

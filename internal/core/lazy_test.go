@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fpgarouter/internal/arbor"
+	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
+)
+
+// TestLazyScanParity asserts the lazy engine's exactness contract: with
+// Options.Lazy on, IGMSTStats produces bit-identical trees and identical
+// admission counters versus the exhaustive scan, at every Workers setting,
+// for every base heuristic in both admission modes — on these fixtures,
+// where stale gains stay valid upper bounds or any violation surfaces in a
+// re-evaluated candidate and trips the fallback (see lazyQueue's doc for
+// the instances where identity can be lost). It also pins
+// the accounting identity Evaluations + EvaluationsSaved == exhaustive
+// Evaluations, and that the lazy counters themselves are worker-invariant
+// (the burst size is fixed, so the evaluated set never depends on fan-out).
+func TestLazyScanParity(t *testing.T) {
+	bases := []struct {
+		name string
+		H    steiner.Heuristic
+	}{
+		{"kmb", steiner.KMB},
+		{"sph", steiner.SPH},
+		{"zel", steiner.ZEL},
+		{"dom", arbor.DOM},
+	}
+	for _, seed := range []int64{3, 17} {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, 80, 400, 10)
+		net := graph.RandomNet(rng, g, 6)
+		for _, base := range bases {
+			for _, batched := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/seed%d/batched=%v", base.name, seed, batched), func(t *testing.T) {
+					run := func(lazy bool, workers int) (graph.Tree, Stats) {
+						cache := graph.NewSPTCache(g)
+						defer cache.Release()
+						tree, st, err := IGMSTStats(cache, net, base.H, Options{Batched: batched, Workers: workers, Lazy: lazy})
+						if err != nil {
+							t.Fatalf("lazy=%v workers=%d: %v", lazy, workers, err)
+						}
+						return tree, st
+					}
+					refTree, refStats := run(false, 1)
+					lazyRef := Stats{}
+					for i, w := range []int{1, 0, 2, 8} {
+						tree, st := run(true, w)
+						if !reflect.DeepEqual(tree, refTree) {
+							t.Fatalf("lazy workers=%d tree diverges from exhaustive:\n got %+v\nwant %+v", w, tree, refTree)
+						}
+						if st.Rounds != refStats.Rounds || st.PointsChosen != refStats.PointsChosen {
+							t.Fatalf("lazy workers=%d rounds/points {%d %d}, exhaustive {%d %d}",
+								w, st.Rounds, st.PointsChosen, refStats.Rounds, refStats.PointsChosen)
+						}
+						if st.Evaluations+st.EvaluationsSaved != refStats.Evaluations {
+							t.Fatalf("lazy workers=%d evaluations %d + saved %d != exhaustive %d",
+								w, st.Evaluations, st.EvaluationsSaved, refStats.Evaluations)
+						}
+						if i == 0 {
+							lazyRef = st
+							continue
+						}
+						if st.Evaluations != lazyRef.Evaluations || st.EvaluationsSaved != lazyRef.EvaluationsSaved ||
+							st.LazyHits != lazyRef.LazyHits || st.FullRescans != lazyRef.FullRescans {
+							t.Fatalf("lazy workers=%d counters {ev %d saved %d hits %d rescans %d} differ from workers=1 {ev %d saved %d hits %d rescans %d}",
+								w, st.Evaluations, st.EvaluationsSaved, st.LazyHits, st.FullRescans,
+								lazyRef.Evaluations, lazyRef.EvaluationsSaved, lazyRef.LazyHits, lazyRef.FullRescans)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// lazyFixture builds a graph plus a synthetic modular base heuristic for
+// exercising the queue deterministically: terminals beyond the 3-pin net
+// contribute a fixed per-node saving, so stale gains are exact upper bounds
+// (no violations) and every admission/skip decision is hand-checkable.
+// Nodes 3..6 save 5,4,3,2; nodes 7..14 save nothing.
+func lazyFixture() (*graph.Graph, []graph.NodeID, []graph.NodeID, steiner.Heuristic) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnected(rng, 20, 60, 5)
+	net := []graph.NodeID{0, 1, 2}
+	cands := make([]graph.NodeID, 0, 12)
+	for v := graph.NodeID(3); v <= 14; v++ {
+		cands = append(cands, v)
+	}
+	saving := map[graph.NodeID]float64{3: 5, 4: 4, 5: 3, 6: 2}
+	H := func(_ *graph.SPTCache, terms []graph.NodeID) (graph.Tree, error) {
+		cost := 100.0
+		for _, v := range terms {
+			cost -= saving[v]
+		}
+		return graph.Tree{Cost: cost}, nil
+	}
+	return g, net, cands, H
+}
+
+// TestLazyScanSavesEvaluations walks the modular fixture through both
+// admission modes and checks the hand-computed skip totals: the queue must
+// stop burning evaluations on candidates whose stale gain cannot win.
+func TestLazyScanSavesEvaluations(t *testing.T) {
+	g, net, cands, H := lazyFixture()
+	for _, tc := range []struct {
+		batched   bool
+		wantSaved int64
+		wantHits  int64
+	}{
+		// Single-step: rounds evaluate 12,3,2,1,0 of {12,11,10,9,8}
+		// candidates (the 8 zero-gain nodes are pruned from round 2 on,
+		// then the rising threshold prunes below the round max).
+		{batched: false, wantSaved: 32, wantHits: 4},
+		// Batched admission never arms the queue (stale bounds cannot
+		// soundly prune a full improving-candidate ranking), so the lazy
+		// counters must stay zero and the runs be exhaustively equal.
+		{batched: true, wantSaved: 0, wantHits: 0},
+	} {
+		t.Run(fmt.Sprintf("batched=%v", tc.batched), func(t *testing.T) {
+			run := func(lazy bool) (graph.Tree, Stats) {
+				cache := graph.NewSPTCache(g)
+				defer cache.Release()
+				tree, st, err := IGMSTStats(cache, net, H, Options{Candidates: cands, Batched: tc.batched, Workers: 1, Lazy: lazy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tree, st
+			}
+			refTree, refStats := run(false)
+			tree, st := run(true)
+			if !reflect.DeepEqual(tree, refTree) {
+				t.Fatalf("lazy tree %+v, exhaustive %+v", tree, refTree)
+			}
+			if st.PointsChosen != 4 || refStats.PointsChosen != 4 {
+				t.Fatalf("points chosen lazy %d exhaustive %d, want 4", st.PointsChosen, refStats.PointsChosen)
+			}
+			if st.EvaluationsSaved != tc.wantSaved {
+				t.Fatalf("EvaluationsSaved = %d, want %d", st.EvaluationsSaved, tc.wantSaved)
+			}
+			if st.LazyHits != tc.wantHits {
+				t.Fatalf("LazyHits = %d, want %d", st.LazyHits, tc.wantHits)
+			}
+			if st.FullRescans != 0 {
+				t.Fatalf("FullRescans = %d, want 0 (modular gains never violate)", st.FullRescans)
+			}
+			if st.Evaluations+st.EvaluationsSaved != refStats.Evaluations {
+				t.Fatalf("identity: %d + %d != %d", st.Evaluations, st.EvaluationsSaved, refStats.Evaluations)
+			}
+		})
+	}
+}
+
+// TestLazyScanViolationFallback forces a supermodular gain — admitting one
+// candidate makes the other strictly MORE valuable — and checks that the
+// queue detects the stale-bound violation, falls back to a full rescan, and
+// still ends bit-identical to the exhaustive scan. Costs: base 10; +node3
+// saves 1; +node4 saves 1.5; both together cost 5 (node3's gain jumps from
+// 1 to 3.5 once node4 is in, exceeding its stale bound). Single-step only:
+// batched admission never arms the queue.
+func TestLazyScanViolationFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(rng, 10, 30, 5)
+	net := []graph.NodeID{0, 1, 2}
+	cands := []graph.NodeID{3, 4}
+	cost := func(has3, has4 bool) float64 {
+		switch {
+		case has3 && has4:
+			return 5
+		case has3:
+			return 9
+		case has4:
+			return 8.5
+		}
+		return 10
+	}
+	H := func(_ *graph.SPTCache, terms []graph.NodeID) (graph.Tree, error) {
+		var has3, has4 bool
+		for _, v := range terms {
+			has3 = has3 || v == 3
+			has4 = has4 || v == 4
+		}
+		return graph.Tree{Cost: cost(has3, has4)}, nil
+	}
+	run := func(lazy bool) (graph.Tree, Stats) {
+		cache := graph.NewSPTCache(g)
+		defer cache.Release()
+		tree, st, err := IGMSTStats(cache, net, H, Options{Candidates: cands, Workers: 1, Lazy: lazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree, st
+	}
+	refTree, refStats := run(false)
+	tree, st := run(true)
+	if !reflect.DeepEqual(tree, refTree) {
+		t.Fatalf("lazy tree %+v, exhaustive %+v", tree, refTree)
+	}
+	if tree.Cost != 5 {
+		t.Fatalf("final cost %v, want 5 (both points admitted)", tree.Cost)
+	}
+	if st.FullRescans == 0 {
+		t.Fatal("violation was not detected: FullRescans = 0")
+	}
+	if st.Evaluations+st.EvaluationsSaved != refStats.Evaluations {
+		t.Fatalf("identity: %d + %d != %d", st.Evaluations, st.EvaluationsSaved, refStats.Evaluations)
+	}
+}
+
+// TestLazyScanForkAccounting runs a lazy parallel scan and checks the
+// SPTCache.Fork release accounting: the scanner's worker forks each check a
+// scratch out of the process pool, the lazy bursts evaluate through those
+// forks, and when the construction returns every scratch must be checked
+// back in — graph.LiveScratches is the leak detector.
+func TestLazyScanForkAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomConnected(rng, 80, 400, 10)
+	net := graph.RandomNet(rng, g, 6)
+	before := graph.LiveScratches()
+	for i := 0; i < 3; i++ {
+		cache := graph.NewSPTCache(g)
+		if _, _, err := IGMSTStats(cache, net, steiner.KMB, Options{Workers: 8, Lazy: true}); err != nil {
+			t.Fatal(err)
+		}
+		cache.Release()
+	}
+	if after := graph.LiveScratches(); after != before {
+		t.Fatalf("scratches leaked across lazy parallel scans: %d live before, %d after", before, after)
+	}
+}

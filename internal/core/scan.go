@@ -129,8 +129,16 @@ func (s *scanner) scan(st *Stats, spanned []graph.NodeID, inNS map[graph.NodeID]
 			s.targets = append(s.targets, t)
 		}
 	}
+	return s.evaluate(st, spanned)
+}
+
+// evaluate runs H over s.targets (set by the caller), inline on the shared
+// cache or sharded over the worker forks, returning outcomes in target order.
+// The lazy scan calls this directly with queue bursts; the returned slice is
+// reused by the next evaluation.
+func (s *scanner) evaluate(st *Stats, spanned []graph.NodeID) []scanEval {
 	n := len(s.targets)
-	st.Evaluations += n
+	st.Evaluations += int64(n)
 	if cap(s.evals) < n {
 		s.evals = make([]scanEval, n)
 	}

@@ -36,6 +36,15 @@ type RouterConfig struct {
 	// every routing call of the sweep (0 = GOMAXPROCS capped at 8, 1 =
 	// sequential; results are identical at every setting).
 	CandidateWorkers int
+	// SingleStep is forwarded to router.Options.SingleStep: one-candidate-
+	// per-round Steiner admission (the paper's Figure 5 template) instead
+	// of the router's default batched admission.
+	SingleStep bool
+	// LazyScan is forwarded to router.Options.LazyScan for every routing
+	// call of the sweep: the lazy-greedy candidate scan with exactness
+	// fallback (results identical on or off; only evaluation counts
+	// change). Arms under SingleStep; inert for batched admission.
+	LazyScan bool
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -80,6 +89,8 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 		Algorithm:        alg,
 		MaxPasses:        cfg.MaxPasses,
 		CandidateWorkers: cfg.CandidateWorkers,
+		SingleStep:       cfg.SingleStep,
+		LazyScan:         cfg.LazyScan,
 	})
 	if err != nil {
 		return WidthRow{}, fmt.Errorf("%s/%s: %w", spec.Name, alg, err)
@@ -239,7 +250,7 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers})
+				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers, SingleStep: cfg.SingleStep, LazyScan: cfg.LazyScan})
 				if err != nil {
 					if errors.Is(err, router.ErrUnroutable) {
 						break

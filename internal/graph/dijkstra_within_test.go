@@ -97,3 +97,32 @@ func TestSPTCacheWithinUsesStopSet(t *testing.T) {
 		t.Fatal("far corner settled despite early stop")
 	}
 }
+
+// TestDijkstraWithinSettledCount pins how much work the early exit does:
+// on a line graph with a single stop node, the search settles exactly the
+// prefix up to that node (everything nearer plus the node itself) and
+// nothing beyond — the Settled counter is the proof, and Reachable is true
+// exactly on the settled prefix.
+func TestDijkstraWithinSettledCount(t *testing.T) {
+	g := New(8)
+	for i := 0; i < 7; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	s := NewDijkstraScratch()
+	c := NewSPTCacheWithin(g, []NodeID{3}).WithScratch(s)
+	before := s.Settled
+	spt := c.Tree(0)
+	if got := s.Settled - before; got != 4 {
+		t.Fatalf("settled %d nodes, want exactly the 0..3 prefix (4)", got)
+	}
+	for v := 0; v <= 3; v++ {
+		if !spt.Reachable(NodeID(v)) {
+			t.Fatalf("node %d should be reachable (settled before the stop)", v)
+		}
+	}
+	for v := 4; v < 8; v++ {
+		if spt.Reachable(NodeID(v)) {
+			t.Fatalf("node %d should read unreachable (never settled)", v)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the CLIs to
+// runtime/pprof. It exists because both cmd/fpgaroute and cmd/tables exit
+// through os.Exit on several paths, which skips deferred teardown: Start
+// returns an idempotent stop function the commands call both deferred (for
+// the normal return) and explicitly before every os.Exit.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuPath and schedules a heap profile write
+// to memPath; either path may be empty to skip that profile. The returned
+// stop flushes and closes both profiles and may be called any number of
+// times (only the first call acts). On error nothing is left running.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				if err := cpuF.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set before sampling
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		})
+	}, nil
+}

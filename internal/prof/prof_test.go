@@ -1,0 +1,60 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles runs a full start/stop cycle and checks both
+// profile files exist and are non-empty, and that stop is idempotent.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	stop() // second call must be a no-op, not a double close
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartEmptyPaths pins that profiling is fully optional: empty paths
+// start nothing and stop is still safe.
+func TestStartEmptyPaths(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+// TestStartBadCPUPath pins the error contract: an uncreatable CPU profile
+// path fails Start without leaving a profiler running.
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("want error for uncreatable cpuprofile path")
+	}
+	// A subsequent Start must succeed — proof nothing was left running.
+	stop, err := Start(filepath.Join(t.TempDir(), "cpu.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

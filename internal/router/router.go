@@ -83,6 +83,26 @@ type Options struct {
 	// tests). Combined with WidthProbes the total goroutine fan-out is the
 	// product of the two; GOMAXPROCS bounds actual parallelism.
 	CandidateWorkers int `json:"candidate_workers,omitempty"`
+	// LazyScan enables the lazy-greedy candidate scan inside the iterated
+	// constructions (core.Options.Lazy): per-candidate gains from earlier
+	// rounds are kept as a stale-priority queue and a round re-evaluates
+	// only the entries whose stale gain could still win, falling back to a
+	// full exhaustive rescan whenever a fresh gain exceeds its stale bound.
+	// Routing results are bit-identical at every CandidateWorkers setting,
+	// and identical to the exhaustive scan whenever per-candidate gains
+	// only shrink as Steiner points are admitted (asserted by the parity
+	// tests); on congestion-weighted fabrics an occasional gain jump in a
+	// skipped candidate can make the lazy route admit different — still
+	// strictly improving — Steiner points, so minimum widths and the
+	// paper's bounds hold but wirelengths can deviate by a fraction of a
+	// percent (see EXPERIMENTS.md for measurements and DESIGN.md §5 for
+	// why the fallback cannot close this gap). The evaluation saving is
+	// reported by the stats layer as lazy hits / full rescans /
+	// evaluations saved. The queue arms only
+	// under SingleStep admission — batched rounds consume the whole
+	// improving-candidate ranking, which stale bounds cannot soundly
+	// prune, so there the flag is inert.
+	LazyScan bool `json:"lazy_scan,omitempty"`
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
 	NoMoveToFront bool `json:"no_move_to_front,omitempty"`
@@ -449,12 +469,13 @@ func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (g
 	}
 	cache = ctx.attach(cache)
 	defer cache.Release()
-	iterOpts := core.Options{Candidates: pool, Batched: !opts.SingleStep, Workers: opts.CandidateWorkers}
+	iterOpts := core.Options{Candidates: pool, Batched: !opts.SingleStep, Workers: opts.CandidateWorkers, Lazy: opts.LazyScan}
 	// record forwards an iterated construction's work counters — candidate
-	// evaluations, admitted points, and the parallel scans' wall/CPU split —
-	// to the context's collector.
+	// evaluations, admitted points, lazy-queue savings, and the parallel
+	// scans' wall/CPU split — to the context's collector.
 	record := func(st core.Stats) {
-		ctx.Stats.AddCandidateWork(int64(st.Evaluations), int64(st.PointsChosen))
+		ctx.Stats.AddCandidateWork(st.Evaluations, st.PointsChosen)
+		ctx.Stats.AddLazyScan(st.LazyHits, st.FullRescans, st.EvaluationsSaved)
 		ctx.Stats.AddScans(int64(st.ParallelScans), st.ScanWall, st.ScanCPU)
 		// Worker forks run Dijkstra on their own scratch, invisible to the
 		// context scratch's counter deltas recorded by routeOnFabric.
