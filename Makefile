@@ -13,11 +13,23 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# Full check: build, vet, and the test suite under the race detector
-# (the parallel minimum-width search makes -race load-bearing).
+# Full check: build, vet, optional deep linters, and the test suite under
+# the race detector (the parallel minimum-width search makes -race
+# load-bearing). staticcheck and fieldalignment run only when installed —
+# the CI image may not ship them, and `make check` must work offline.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v fieldalignment >/dev/null 2>&1; then \
+		fieldalignment ./internal/graph/ || true; \
+	else \
+		echo "fieldalignment not installed; skipping (go install golang.org/x/tools/go/analysis/passes/fieldalignment/cmd/fieldalignment@latest)"; \
+	fi
 	$(GO) test -race ./...
 
 # Fault-injection suite (internal/faultpoint): worker panics, injected

@@ -19,6 +19,7 @@ import (
 
 	"fpgarouter/internal/circuits"
 	"fpgarouter/internal/core"
+	"fpgarouter/internal/fpga"
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/router"
 	"fpgarouter/internal/steiner"
@@ -43,6 +44,12 @@ type BenchResult struct {
 	// deterministic, so every timed iteration does identical work).
 	EvalsPerOp      int64 `json:"evals_per_op,omitempty"`
 	EvalsSavedPerOp int64 `json:"evals_saved_per_op,omitempty"`
+	// ExpandedNodesPerOp is recorded for the SSSP entries: nodes settled by
+	// one operation (from one untimed instrumented run — the searches are
+	// deterministic). It is the work metric that separates goal-directed
+	// search from plain Dijkstra beyond wall-clock noise: SSSP_AStar must
+	// expand strictly fewer nodes than SSSP_CSR/SSSP_Legacy on busc.
+	ExpandedNodesPerOp int64 `json:"expanded_nodes_per_op,omitempty"`
 }
 
 // benchFile is the emitted document: results plus enough provenance to
@@ -153,10 +160,71 @@ func writeBenchJSON(path string, quick bool) error {
 			}
 		}
 	}
+	// The SSSP trio times one early-stopping shortest-path sweep over real
+	// busc nets on the paper fabric: the pre-CSR adjacency walk
+	// (SSSP_Legacy), the CSR weight-stream loop (SSSP_CSR — identical
+	// results, better locality), and the goal-directed stop-set search
+	// under the fabric's coordinate bound (SSSP_AStar — identical terminal
+	// distances, strictly fewer expanded nodes). One op = one SSSP per
+	// sampled net, on a warm scratch with the SPT recycled.
+	fab, err := fpga.NewFabric(ckt.ArchAt(10))
+	if err != nil {
+		return err
+	}
+	var ssspNets [][]graph.NodeID
+	for _, net := range ckt.Nets {
+		terms := make([]graph.NodeID, len(net.Pins))
+		for j, p := range net.Pins {
+			terms[j] = fab.PinNode(p)
+		}
+		ssspNets = append(ssspNets, terms)
+		if len(ssspNets) == 32 {
+			break
+		}
+	}
+	const (
+		ssspLegacy = iota
+		ssspCSR
+		ssspAStar
+	)
+	runSSSP := func(mode int, s *graph.DijkstraScratch) {
+		gg := fab.Graph()
+		bnd := fab.Bounds()
+		for _, terms := range ssspNets {
+			var t *graph.SPT
+			switch mode {
+			case ssspLegacy:
+				t = gg.LegacyDijkstra(s, terms[0], terms)
+			case ssspCSR:
+				t = gg.DijkstraWithinScratch(s, terms[0], terms)
+			default:
+				t = gg.DijkstraWithinBounded(s, terms[0], terms, bnd)
+			}
+			s.RecycleSPT(t)
+		}
+	}
+	benchSSSP := func(mode int) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := graph.NewDijkstraScratch()
+			runSSSP(mode, s) // warm the scratch buffers before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runSSSP(mode, s)
+			}
+		}
+	}
+	ssspExpanded := func(mode int) int64 {
+		s := graph.NewDijkstraScratch()
+		before := s.Settled
+		runSSSP(mode, s)
+		return s.Settled - before
+	}
 	type bench struct {
-		name string
-		fn   func(b *testing.B)
-		work func() (evals, saved int64)
+		name   string
+		fn     func(b *testing.B)
+		work   func() (evals, saved int64)
+		expand func() int64
 	}
 	benches := []bench{
 		{name: "BenchmarkIKMB_Pooled", fn: func(b *testing.B) {
@@ -182,6 +250,9 @@ func writeBenchJSON(path string, quick bool) error {
 		{name: "BenchmarkCandidateScanPar", fn: benchScan(8, false), work: func() (int64, int64) { return scanWork(8, false) }},
 		{name: "BenchmarkCandidateScanLazySeq", fn: benchScan(1, true), work: func() (int64, int64) { return scanWork(1, true) }},
 		{name: "BenchmarkCandidateScanLazyPar", fn: benchScan(8, true), work: func() (int64, int64) { return scanWork(8, true) }},
+		{name: "BenchmarkSSSP_Legacy", fn: benchSSSP(ssspLegacy), expand: func() int64 { return ssspExpanded(ssspLegacy) }},
+		{name: "BenchmarkSSSP_CSR", fn: benchSSSP(ssspCSR), expand: func() int64 { return ssspExpanded(ssspCSR) }},
+		{name: "BenchmarkSSSP_AStar", fn: benchSSSP(ssspAStar), expand: func() int64 { return ssspExpanded(ssspAStar) }},
 	}
 	if !quick {
 		benches = append(benches,
@@ -236,6 +307,9 @@ func writeBenchJSON(path string, quick bool) error {
 		}
 		if bench.work != nil {
 			res.EvalsPerOp, res.EvalsSavedPerOp = bench.work()
+		}
+		if bench.expand != nil {
+			res.ExpandedNodesPerOp = bench.expand()
 		}
 		out.Results = append(out.Results, res)
 	}

@@ -32,7 +32,7 @@ func Dominates(cache *graph.SPTCache, n0, p, s graph.NodeID) bool {
 	dp := cache.Tree(n0).Dist[p]
 	ds := cache.Tree(n0).Dist[s]
 	dsp := cache.Dist(s, p)
-	if dp == graph.Inf || ds == graph.Inf || dsp == graph.Inf {
+	if dp == graph.Inf() || ds == graph.Inf() || dsp == graph.Inf() {
 		return false
 	}
 	return dp >= ds+dsp-Eps && dp <= ds+dsp+Eps
@@ -54,7 +54,7 @@ func MaxDom(cache *graph.SPTCache, n0, p, q graph.NodeID) graph.NodeID {
 	n := cache.Graph().NumNodes()
 	for v := 0; v < n; v++ {
 		dv := src.Dist[v]
-		if dv == graph.Inf {
+		if dv == graph.Inf() {
 			continue
 		}
 		if dv+dp.Dist[v] > dnp+Eps || dv+dq.Dist[v] > dnq+Eps {

@@ -61,13 +61,13 @@ func DOM(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 func chooseDominatedParent(cache *graph.SPTCache, src *graph.SPT, n0, v graph.NodeID, pool []graph.NodeID) graph.NodeID {
 	dv := src.Dist[v]
 	best := graph.None
-	bestD := graph.Inf
+	bestD := graph.Inf()
 	for _, s := range pool {
 		if s == v || !before(src, n0, s, v) {
 			continue
 		}
 		dsv := cache.Dist(s, v)
-		if dsv == graph.Inf {
+		if dsv == graph.Inf() {
 			continue
 		}
 		// v dominates s: dist(n0,v) = dist(n0,s) + dist(s,v).

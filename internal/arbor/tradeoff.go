@@ -43,7 +43,7 @@ func PrimDijkstra(cache *graph.SPTCache, net []graph.NodeID, c float64) (graph.T
 	bestKey := make([]float64, k)
 	bestFrom := make([]int, k)
 	for i := range bestKey {
-		bestKey[i] = graph.Inf
+		bestKey[i] = graph.Inf()
 		bestFrom[i] = -1
 	}
 	bestKey[0] = 0
@@ -55,7 +55,7 @@ func PrimDijkstra(cache *graph.SPTCache, net []graph.NodeID, c float64) (graph.T
 				u = v
 			}
 		}
-		if bestKey[u] == graph.Inf {
+		if bestKey[u] == graph.Inf() {
 			return graph.Tree{}, ErrNoRoute
 		}
 		inTree[u] = true
@@ -103,7 +103,7 @@ func BRBC(cache *graph.SPTCache, net []graph.NodeID, eps float64) (graph.Tree, e
 	inTree := make([]bool, k)
 	best := make([]float64, k)
 	for i := range best {
-		best[i] = graph.Inf
+		best[i] = graph.Inf()
 		parent[i] = -1
 	}
 	best[0] = 0
@@ -115,7 +115,7 @@ func BRBC(cache *graph.SPTCache, net []graph.NodeID, eps float64) (graph.Tree, e
 				u = v
 			}
 		}
-		if best[u] == graph.Inf {
+		if best[u] == graph.Inf() {
 			return graph.Tree{}, ErrNoRoute
 		}
 		inTree[u] = true

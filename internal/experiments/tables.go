@@ -45,6 +45,12 @@ type RouterConfig struct {
 	// fallback (results identical on or off; only evaluation counts
 	// change). Arms under SingleStep; inert for batched admission.
 	LazyScan bool
+	// GoalDirected is forwarded to router.Options.GoalDirected: A* toward
+	// each net's stop set under the fabric's coordinate lower bound, and
+	// bidirectional Dijkstra for 2-pin nets. Costs stay exact; among
+	// equal-cost shortest paths the goal-directed searches may choose
+	// differently, so tables can deviate within ties.
+	GoalDirected bool
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -91,6 +97,7 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 		CandidateWorkers: cfg.CandidateWorkers,
 		SingleStep:       cfg.SingleStep,
 		LazyScan:         cfg.LazyScan,
+		GoalDirected:     cfg.GoalDirected,
 	})
 	if err != nil {
 		return WidthRow{}, fmt.Errorf("%s/%s: %w", spec.Name, alg, err)
@@ -250,7 +257,7 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers, SingleStep: cfg.SingleStep, LazyScan: cfg.LazyScan})
+				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers, SingleStep: cfg.SingleStep, LazyScan: cfg.LazyScan, GoalDirected: cfg.GoalDirected})
 				if err != nil {
 					if errors.Is(err, router.ErrUnroutable) {
 						break

@@ -48,6 +48,8 @@ type Fabric struct {
 	wireDemand []int32 // wire → unrouted pins that can only tap this wire
 	spanDemand []int32 // span → unrouted pin taps wanting this span
 
+	bounds *graph.CoordBounds // immutable node coordinates for goal-directed search
+
 	// CongestionAlpha scales the congestion penalty applied to the
 	// remaining wires of a partially used channel span: the weight of a
 	// segment edge becomes base·(1 + α·used/W + …). Zero disables it.
@@ -194,8 +196,51 @@ func NewFabric(a Arch) (*Fabric, error) {
 			}
 		}
 	}
+	// The edge set is final from here on (routing only toggles enables and
+	// reweights); freezing now means the CSR layout is built once and never
+	// lazily rebuilt under concurrent read-only scans.
+	f.g.Freeze()
+	f.buildBounds()
 	return f, nil
 }
+
+// buildBounds assigns every routing node its physical coordinate: switch
+// block (i, j) sits at grid intersection (i, j), and a pin sits at the
+// midpoint of its adjacent channel span — which makes the tap edge lengths
+// (pos + TapLength to the wire ends) exactly the coordinate displacement,
+// and segment edges of L spans cost exactly L. Congestion and demand only
+// scale weights up from those base lengths and jogs cost more than their
+// zero displacement, so the Manhattan distance between coordinates is an
+// admissible, consistent lower bound under every fabric mutation
+// (BeginNet/CommitNet/AddPinDemand/Reset). See DESIGN.md §6.
+func (f *Fabric) buildBounds() {
+	n := f.g.NumNodes()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for v := 0; v < f.numSB; v++ {
+		i, j, _, _ := f.SBCoords(graph.NodeID(v))
+		xs[v], ys[v] = float64(i), float64(j)
+	}
+	for v := f.numSB; v < n; v++ {
+		p, _ := f.PinOf(graph.NodeID(v))
+		switch p.Side {
+		case South:
+			xs[v], ys[v] = float64(p.X)+0.5, float64(p.Y)
+		case North:
+			xs[v], ys[v] = float64(p.X)+0.5, float64(p.Y)+1
+		case West:
+			xs[v], ys[v] = float64(p.X), float64(p.Y)+0.5
+		case East:
+			xs[v], ys[v] = float64(p.X)+1, float64(p.Y)+0.5
+		}
+	}
+	f.bounds = &graph.CoordBounds{X: xs, Y: ys}
+}
+
+// Bounds returns the fabric's admissible distance lower bound for
+// goal-directed search. The returned value is immutable and safe to share
+// across concurrent searches and SPTCache forks.
+func (f *Fabric) Bounds() *graph.CoordBounds { return f.bounds }
 
 // sbNode returns the node for track t at switch block (i, j).
 func (f *Fabric) sbNode(i, j, t int) graph.NodeID {

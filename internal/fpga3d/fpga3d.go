@@ -85,6 +85,8 @@ type Fabric3D struct {
 	baseW    []float64
 	pinTaps  map[graph.NodeID][]graph.EdgeID
 	consumed map[graph.EdgeID]bool // edges claimed by committed nets
+
+	bounds *graph.CoordBounds // immutable node coordinates for goal-directed search
 }
 
 // NewFabric3D builds the stacked routing graph.
@@ -153,8 +155,64 @@ func NewFabric3D(a Arch) (*Fabric3D, error) {
 			}
 		}
 	}
+	// Edge set is final (routing only disables edges); freeze once so the
+	// CSR layout never rebuilds lazily under concurrent scans.
+	f.g.Freeze()
+	f.buildBounds()
 	return f, nil
 }
+
+// buildBounds assigns every node a 3D coordinate: switch block (l, i, j) at
+// (i, j, l·ViaLength), pins at their span midpoint on their layer. Segment
+// edges cost exactly their planar displacement, vias exactly their Z
+// displacement, and taps exactly TapLength = half a span, so the L1
+// distance between coordinates is an admissible consistent lower bound.
+// The 3D fabric never reweights edges (CommitNet only disables them), so
+// the bound stays valid for the fabric's whole life.
+func (f *Fabric3D) buildBounds() {
+	n := f.g.NumNodes()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	cols1 := f.Cols + 1
+	for l := 0; l < f.Layers; l++ {
+		base := l * f.perLayer
+		z := float64(l) * f.ViaLength
+		for j := 0; j <= f.Rows; j++ {
+			for i := 0; i < cols1; i++ {
+				for t := 0; t < f.W; t++ {
+					v := base + (j*cols1+i)*f.W + t
+					xs[v], ys[v], zs[v] = float64(i), float64(j), z
+				}
+			}
+		}
+		for y := 0; y < f.Rows; y++ {
+			for x := 0; x < f.Cols; x++ {
+				for side := fpga.North; side <= fpga.West; side++ {
+					for k := 0; k < f.PinsPerSide; k++ {
+						v := f.PinNode(Pin3D{Layer: l, Pin: fpga.Pin{X: x, Y: y, Side: side, Index: k}})
+						switch side {
+						case fpga.South:
+							xs[v], ys[v] = float64(x)+0.5, float64(y)
+						case fpga.North:
+							xs[v], ys[v] = float64(x)+0.5, float64(y)+1
+						case fpga.West:
+							xs[v], ys[v] = float64(x), float64(y)+0.5
+						case fpga.East:
+							xs[v], ys[v] = float64(x)+1, float64(y)+0.5
+						}
+						zs[v] = z
+					}
+				}
+			}
+		}
+	}
+	f.bounds = &graph.CoordBounds{X: xs, Y: ys, Z: zs}
+}
+
+// Bounds returns the fabric's admissible distance lower bound for
+// goal-directed search; immutable and safe to share across searches.
+func (f *Fabric3D) Bounds() *graph.CoordBounds { return f.bounds }
 
 func (f *Fabric3D) sbNode(layer, i, j, t int) graph.NodeID {
 	return graph.NodeID(layer*f.perLayer + (j*(f.Cols+1)+i)*f.W + t)

@@ -4,7 +4,7 @@ import "fpgarouter/internal/faultpoint"
 
 // SPT is a single-source shortest-paths tree produced by Dijkstra.
 //
-// Dist[v] is the cost of a shortest path from Source to v (Inf if v is
+// Dist[v] is the cost of a shortest path from Source to v (inf if v is
 // unreachable through enabled edges). ParentEdge[v] is the edge used to
 // reach v on one such shortest path (None for the source and unreachable
 // nodes); ParentNode[v] is the corresponding predecessor.
@@ -85,12 +85,32 @@ func (g *Graph) DijkstraWithin(src NodeID, stop []NodeID) *SPT {
 	return g.dijkstraWith(s, src, stop)
 }
 
+// DijkstraWithinScratch is DijkstraWithin on a caller-provided scratch (nil
+// falls back to the pool): the warm-path entry for callers that manage
+// their own scratch lifetime, and the timed loop of the SSSP_CSR
+// microbenchmark (LegacyDijkstra is its baseline pair).
+func (g *Graph) DijkstraWithinScratch(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT {
+	if s == nil {
+		s = AcquireScratch()
+		defer ReleaseScratch(s)
+	}
+	return g.dijkstraWith(s, src, stop)
+}
+
 // dijkstraWith is the single Dijkstra implementation: all working state
 // (heap, settled marks, stop-set marks) lives in the scratch and the
 // returned SPT comes off its free list, so a warm scratch runs without
 // allocating. A nil stop slice settles the whole graph.
+//
+// The relaxation loop streams the CSR arc and weight arrays. Disabled edges
+// carry +inf in the weight stream, so `du + arcw[i] < Dist[to]` rejects
+// them with no flag lookup; per-node arc order equals edge-insertion order
+// (see rebuildCSR), which keeps distances, parents and the heap-push/settle
+// counters bit-identical to the pre-CSR adjacency-list implementation
+// (LegacyDijkstra, retained as the parity oracle).
 func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT {
 	faultpoint.Check(faultpoint.SSSPExpand)
+	g.ensureCSR()
 	n := g.n
 	ep := s.beginRun(n)
 	t := s.acquireSPT(n, src)
@@ -129,7 +149,7 @@ func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT
 				// rather than carrying half-relaxed distances.
 				for v := 0; v < n; v++ {
 					if s.done[v] != ep {
-						t.Dist[v] = Inf
+						t.Dist[v] = inf
 						t.ParentEdge[v] = None
 						t.ParentNode[v] = None
 					}
@@ -138,17 +158,22 @@ func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT
 			}
 		}
 		du := t.Dist[u]
-		for _, a := range g.adj[u] {
-			e := &g.edges[a.ID]
-			if !e.Enabled || s.done[a.To] == ep {
-				continue
-			}
-			nd := du + e.W
-			if nd < t.Dist[a.To] {
-				t.Dist[a.To] = nd
-				t.ParentEdge[a.To] = a.ID
-				t.ParentNode[a.To] = u
-				q.push(pqItem{nd, a.To})
+		// No settled check per arc: a settled node's distance is final and
+		// weights are non-negative, so nd = du + w ≥ du ≥ Dist[to] and the
+		// improvement test rejects it anyway — same pushes, same counters,
+		// one fewer random load per arc. Sub-slicing arcs/weights to the
+		// node's range lets the compiler drop the per-arc bounds checks.
+		as := g.arcs[g.offsets[u]:g.offsets[u+1]]
+		ws := g.arcw[g.offsets[u]:g.offsets[u+1]]
+		ws = ws[:len(as)]
+		for k := range as {
+			to := as[k].To
+			nd := du + ws[k]
+			if nd < t.Dist[to] {
+				t.Dist[to] = nd
+				t.ParentEdge[to] = as[k].ID
+				t.ParentNode[to] = u
+				q.push(pqItem{nd, to})
 				s.HeapPushes++
 			}
 		}
@@ -160,7 +185,7 @@ func (g *Graph) dijkstraWith(s *DijkstraScratch, src NodeID, stop []NodeID) *SPT
 // source-to-v order, or nil if v is unreachable. For v == Source it returns
 // an empty (non-nil) slice.
 func (t *SPT) PathTo(v NodeID) []EdgeID {
-	if t.Dist[v] == Inf {
+	if t.Dist[v] == inf {
 		return nil
 	}
 	var rev []EdgeID
@@ -177,7 +202,7 @@ func (t *SPT) PathTo(v NodeID) []EdgeID {
 }
 
 // Reachable reports whether v is reachable from the source.
-func (t *SPT) Reachable(v NodeID) bool { return t.Dist[v] != Inf }
+func (t *SPT) Reachable(v NodeID) bool { return t.Dist[v] != inf }
 
 // SPTCache memoizes Dijkstra trees by source node. The iterated
 // constructions (IGMST, IDOM) evaluate their base heuristic for many
@@ -205,6 +230,11 @@ type SPTCache struct {
 	// base, when non-nil, is the frozen snapshot this cache was forked from:
 	// lookups fall through to its trees, writes stay private (see Fork).
 	base *SPTCache
+	// bounds, when non-nil alongside a stop set, turns cache misses into
+	// goal-directed searches (DijkstraWithinBounded): expansion is biased
+	// toward the stop set by an admissible lower bound. Distances to stop
+	// nodes stay exact; see WithBounds for the tie-break caveat.
+	bounds Bounds
 	// Runs counts actual Dijkstra executions, exposed for ablation benches.
 	Runs int
 }
@@ -229,6 +259,23 @@ func (c *SPTCache) WithScratch(s *DijkstraScratch) *SPTCache {
 	return c
 }
 
+// WithBounds guides the cache's searches with an admissible lower bound
+// (see Bounds): each miss runs DijkstraWithinBounded toward the stop set
+// instead of plain DijkstraWithin, settling fewer nodes. Requires a stop
+// set (caches without one settle the whole graph, where goal direction
+// cannot help); b must be admissible and consistent for the current graph
+// state or distances would come out wrong.
+//
+// Exactness contract: distances to stop nodes are exact and, with a
+// consistent bound, bit-identical to the unbounded cache's; parents (and
+// therefore Path results) may differ on exact floating-point ties because
+// the bound reorders settlement among equal-cost nodes. The router keeps
+// this behind Options.GoalDirected for that reason. Returns c.
+func (c *SPTCache) WithBounds(b Bounds) *SPTCache {
+	c.bounds = b
+	return c
+}
+
 // Fork returns a per-worker view of the cache for concurrent candidate
 // evaluation. Lookups (Tree, Dist, Path, CachedTree) fall through to every
 // tree already cached in c — the shared read-only snapshot — while misses
@@ -239,7 +286,7 @@ func (c *SPTCache) WithScratch(s *DijkstraScratch) *SPTCache {
 // live. Release the fork — recycling its private trees into s — before
 // returning s to the pool; the base's trees are never recycled by a fork.
 func (c *SPTCache) Fork(s *DijkstraScratch) *SPTCache {
-	return &SPTCache{g: c.g, trees: make(map[NodeID]*SPT), stop: c.stop, scratch: s, base: c}
+	return &SPTCache{g: c.g, trees: make(map[NodeID]*SPT), stop: c.stop, scratch: s, base: c, bounds: c.bounds}
 }
 
 // lookup returns the cached tree rooted at v, consulting the fork's private
@@ -289,7 +336,12 @@ func (c *SPTCache) Tree(src NodeID) *SPT {
 	if t, ok := c.lookup(src); ok {
 		return t
 	}
-	t := c.g.dijkstraWith(c.Scratch(), src, c.stop)
+	var t *SPT
+	if c.bounds != nil && c.stop != nil {
+		t = c.g.dijkstraBoundedWith(c.Scratch(), src, c.stop, c.bounds)
+	} else {
+		t = c.g.dijkstraWith(c.Scratch(), src, c.stop)
+	}
 	c.trees[src] = t
 	c.Runs++
 	return t

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"errors"
-	"sort"
+	"slices"
 )
 
 // ErrDisconnected is returned when a spanning structure is requested over a
@@ -13,24 +13,26 @@ var ErrDisconnected = errors.New("graph: not connected")
 // enabled edges of g, or ErrDisconnected. Ties are broken by edge ID so the
 // result is deterministic.
 func (g *Graph) KruskalMST() ([]EdgeID, error) {
-	ids := make([]EdgeID, 0, len(g.edges))
-	for i := range g.edges {
-		if g.edges[i].Enabled {
+	ids := make([]EdgeID, 0, len(g.eu))
+	for i := range g.eu {
+		if g.enabledBit(EdgeID(i)) {
 			ids = append(ids, EdgeID(i))
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		wa, wb := g.edges[ids[a]].W, g.edges[ids[b]].W
+	slices.SortFunc(ids, func(a, b EdgeID) int {
+		wa, wb := g.w[a], g.w[b]
 		if wa != wb {
-			return wa < wb
+			if wa < wb {
+				return -1
+			}
+			return 1
 		}
-		return ids[a] < ids[b]
+		return int(a) - int(b)
 	})
 	uf := NewUnionFind(g.n)
 	mst := make([]EdgeID, 0, g.n-1)
 	for _, id := range ids {
-		e := g.edges[id]
-		if uf.Union(e.U, e.V) {
+		if uf.Union(g.eu[id], g.ev[id]) {
 			mst = append(mst, id)
 			if len(mst) == g.n-1 {
 				break
@@ -51,11 +53,12 @@ func (g *Graph) PrimMST(start NodeID) ([]EdgeID, error) {
 	if g.n == 0 {
 		return nil, nil
 	}
+	g.ensureCSR()
 	inTree := make([]bool, g.n)
 	best := make([]float64, g.n)
 	bestEdge := make([]EdgeID, g.n)
 	for i := range best {
-		best[i] = Inf
+		best[i] = inf
 		bestEdge[i] = None
 	}
 	best[start] = 0
@@ -72,15 +75,16 @@ func (g *Graph) PrimMST(start NodeID) ([]EdgeID, error) {
 		if bestEdge[u] != None {
 			mst = append(mst, bestEdge[u])
 		}
-		for _, a := range g.adj[u] {
-			e := &g.edges[a.ID]
-			if !e.Enabled || inTree[a.To] {
+		for i, end := g.offsets[u], g.offsets[u+1]; i < end; i++ {
+			to := g.arcs[i].To
+			if inTree[to] {
 				continue
 			}
-			if e.W < best[a.To] {
-				best[a.To] = e.W
-				bestEdge[a.To] = a.ID
-				q.push(pqItem{e.W, a.To})
+			// Disabled arcs carry +Inf here, so they never improve best.
+			if w := g.arcw[i]; w < best[to] {
+				best[to] = w
+				bestEdge[to] = g.arcs[i].ID
+				q.push(pqItem{w, to})
 			}
 		}
 	}

@@ -10,24 +10,25 @@ func (g *Graph) FloydWarshall() [][]float64 {
 		d[i] = make([]float64, n)
 		for j := range d[i] {
 			if i != j {
-				d[i][j] = Inf
+				d[i][j] = inf
 			}
 		}
 	}
-	for _, e := range g.edges {
-		if !e.Enabled {
+	for id := range g.eu {
+		if !g.enabledBit(EdgeID(id)) {
 			continue
 		}
-		if e.W < d[e.U][e.V] {
-			d[e.U][e.V] = e.W
-			d[e.V][e.U] = e.W
+		u, v, w := g.eu[id], g.ev[id], g.w[id]
+		if w < d[u][v] {
+			d[u][v] = w
+			d[v][u] = w
 		}
 	}
 	for k := 0; k < n; k++ {
 		dk := d[k]
 		for i := 0; i < n; i++ {
 			dik := d[i][k]
-			if dik == Inf {
+			if dik == inf {
 				continue
 			}
 			di := d[i]
@@ -44,16 +45,17 @@ func (g *Graph) FloydWarshall() [][]float64 {
 // ConnectedComponent returns the set of nodes reachable from src through
 // enabled edges (including src), as a boolean membership slice.
 func (g *Graph) ConnectedComponent(src NodeID) []bool {
+	g.ensureCSR()
 	seen := make([]bool, g.n)
 	seen[src] = true
 	stack := []NodeID{src}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.adj[u] {
-			if g.edges[a.ID].Enabled && !seen[a.To] {
-				seen[a.To] = true
-				stack = append(stack, a.To)
+		for i, end := g.offsets[u], g.offsets[u+1]; i < end; i++ {
+			if to := g.arcs[i].To; g.arcw[i] != inf && !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
 			}
 		}
 	}

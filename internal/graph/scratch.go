@@ -28,6 +28,11 @@ type DijkstraScratch struct {
 	ep   uint32   // current Dijkstra epoch (done/stop marks)
 	free []*SPT   // recycled shortest-path trees
 
+	// Second frontier for bidirectional search (BiDijkstra): its own heap
+	// and settled marks, sharing the epoch counter with the forward side.
+	heapB pq
+	doneB []uint32
+
 	edgeMark []uint32 // edge → epoch of membership in the live EdgeSet
 	edgeEp   uint32
 	nodeMark []uint32 // node → epoch of membership in the live NodeSet
@@ -93,12 +98,14 @@ func (s *DijkstraScratch) beginRun(n int) uint32 {
 	if len(s.done) < n {
 		s.done = make([]uint32, n)
 		s.stop = make([]uint32, n)
+		s.doneB = make([]uint32, n)
 		s.ep = 0
 	}
 	s.ep++
 	if s.ep == 0 { // epoch counter wrapped: stale marks could alias, clear
 		clear(s.done)
 		clear(s.stop)
+		clear(s.doneB)
 		s.ep = 1
 	}
 	s.Runs++
@@ -127,7 +134,7 @@ func (s *DijkstraScratch) acquireSPT(n int, src NodeID) *SPT {
 	}
 	t.Source = src
 	for i := 0; i < n; i++ {
-		t.Dist[i] = Inf
+		t.Dist[i] = inf
 		t.ParentEdge[i] = None
 		t.ParentNode[i] = None
 	}

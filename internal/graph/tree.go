@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Tree is a routing solution: a set of edge IDs of the underlying graph that
@@ -31,7 +32,7 @@ func (t Tree) Nodes(g *Graph) []NodeID {
 	for v := range seen {
 		nodes = append(nodes, v)
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	slices.Sort(nodes)
 	return nodes
 }
 
@@ -118,53 +119,88 @@ func MaxPathlength(g *Graph, t Tree, src NodeID, sinks []NodeID) float64 {
 // and of every construction that unions shortest paths.
 //
 // It is the hottest function of the iterated constructions (called once per
-// Steiner-candidate evaluation), so it works on compact local slices sized
-// by the edge set rather than maps or |V|-sized scratch.
+// Steiner-candidate evaluation), so it works on compact pooled slices sized
+// by the edge set rather than maps or |V|-sized scratch: local node IDs come
+// from one sort of (endpoint, slot)-packed keys — numbering every endpoint
+// occurrence without any per-edge lookup — and incidence lives in one flat
+// prefix-summed array. The leaf-pruning fixpoint is confluent — it has a
+// unique result no matter the removal order — and the output preserves the
+// input edge order, so the numbering scheme is unobservable.
 func PruneTree(g *Graph, edges []EdgeID, keep []NodeID) Tree {
-	// Dense local node numbering over the edge set's endpoints.
-	remap := make(map[NodeID]int32, 2*len(edges))
-	local := func(v NodeID) int32 {
-		if id, ok := remap[v]; ok {
-			return id
-		}
-		id := int32(len(remap))
-		remap[v] = id
-		return id
+	if len(edges) == 0 {
+		return NewTree(g, edges)
 	}
-	type halfEdge struct {
-		pos   int32 // index into edges
-		other int32 // local ID of the other endpoint
-	}
-	lu := make([]int32, len(edges))
-	lv := make([]int32, len(edges))
+	m := len(edges)
+	s := prunePool.Get().(*pruneScratch)
+	defer prunePool.Put(s)
+	// Pack each endpoint occurrence as node<<32 | slot, where slot 2i / 2i+1
+	// is edge i's U / V side. One sort groups occurrences by node; walking
+	// the groups assigns dense local IDs (in ascending node order) and
+	// scatters them back through the slot — no map, no binary search.
+	keys := s.keys.take(2 * m)
 	for i, id := range edges {
-		e := g.Edge(id)
-		lu[i] = local(e.U)
-		lv[i] = local(e.V)
+		keys[2*i] = uint64(uint32(g.eu[id]))<<32 | uint64(uint32(2*i))
+		keys[2*i+1] = uint64(uint32(g.ev[id]))<<32 | uint64(uint32(2*i+1))
 	}
-	n := len(remap)
-	deg := make([]int32, n)
-	incident := make([][]halfEdge, n)
-	for i := range edges {
+	slices.Sort(keys)
+	lu := s.lu.take(m)
+	lv := s.lv.take(m)
+	nodes := s.nodes.take(0)
+	prev := NodeID(-1)
+	n := int32(0)
+	for _, k := range keys {
+		if node := NodeID(uint32(k >> 32)); node != prev {
+			nodes = append(nodes, node)
+			prev = node
+			n++
+		}
+		if slot := uint32(k); slot&1 == 0 {
+			lu[slot>>1] = n - 1
+		} else {
+			lv[slot>>1] = n - 1
+		}
+	}
+	s.nodes = nodes
+	deg := s.deg.take(int(n))
+	clear(deg)
+	for i := range lu {
 		deg[lu[i]]++
 		deg[lv[i]]++
-		incident[lu[i]] = append(incident[lu[i]], halfEdge{int32(i), lv[i]})
-		incident[lv[i]] = append(incident[lv[i]], halfEdge{int32(i), lu[i]})
 	}
-	keepSet := make([]bool, n)
+	// Flat incidence: node v's half-edges occupy half[off[v]:off[v+1]].
+	off := s.off.take(int(n) + 1)
+	off[0] = 0
+	for v := int32(0); v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	cur := s.cur.take(int(n))
+	copy(cur, off[:n])
+	half := s.half
+	if cap(half) < 2*m {
+		half = make([]halfEdge, 2*m)
+	}
+	half = half[:2*m]
+	s.half = half
+	for i := range lu {
+		half[cur[lu[i]]] = halfEdge{int32(i), lv[i]}
+		cur[lu[i]]++
+		half[cur[lv[i]]] = halfEdge{int32(i), lu[i]}
+		cur[lv[i]]++
+	}
+	keepSet := s.keep.take(int(n))
+	clear(keepSet)
 	for _, v := range keep {
-		if id, ok := remap[v]; ok {
-			keepSet[id] = true
+		// keep is tiny (the net's terminals); binary-search the node list.
+		if i, ok := slices.BinarySearch(nodes, v); ok {
+			keepSet[i] = true
 		}
 	}
-	alive := make([]bool, len(edges))
+	alive := s.alive.take(m)
 	for i := range alive {
 		alive[i] = true
 	}
-	// Seed queue in local-ID order: local IDs follow the deterministic
-	// edge order, so the pruning order is deterministic too.
-	queue := make([]int32, 0, n)
-	for v := int32(0); v < int32(n); v++ {
+	queue := s.queue.take(0)
+	for v := int32(0); v < n; v++ {
 		if deg[v] == 1 && !keepSet[v] {
 			queue = append(queue, v)
 		}
@@ -174,7 +210,7 @@ func PruneTree(g *Graph, edges []EdgeID, keep []NodeID) Tree {
 		if deg[v] != 1 || keepSet[v] {
 			continue
 		}
-		for _, h := range incident[v] {
+		for _, h := range half[off[v]:off[v+1]] {
 			if !alive[h.pos] {
 				continue
 			}
@@ -186,7 +222,8 @@ func PruneTree(g *Graph, edges []EdgeID, keep []NodeID) Tree {
 			}
 		}
 	}
-	out := make([]EdgeID, 0, len(edges))
+	s.queue = queue
+	out := make([]EdgeID, 0, m)
 	for i, id := range edges {
 		if alive[i] {
 			out = append(out, id)
@@ -194,6 +231,44 @@ func PruneTree(g *Graph, edges []EdgeID, keep []NodeID) Tree {
 	}
 	return NewTree(g, out)
 }
+
+// halfEdge is one directed occurrence of a tree edge in PruneTree's flat
+// incidence array.
+type halfEdge struct {
+	pos   int32 // index into the input edge slice
+	other int32 // local ID of the other endpoint
+}
+
+// pruneScratch pools PruneTree's working slices; a route makes one PruneTree
+// call per Steiner-candidate evaluation, so the per-call allocations would
+// otherwise dominate the allocator profile.
+type pruneScratch struct {
+	keys  reuse[uint64]
+	lu    reuse[int32]
+	lv    reuse[int32]
+	deg   reuse[int32]
+	off   reuse[int32]
+	cur   reuse[int32]
+	queue reuse[int32]
+	keep  reuse[bool]
+	alive reuse[bool]
+	nodes reuse[NodeID]
+	half  []halfEdge
+}
+
+// reuse is a grow-only slice that hands out length-n views of one backing
+// array. Contents are stale; callers overwrite or clear as needed.
+type reuse[T any] []T
+
+func (r *reuse[T]) take(n int) []T {
+	if cap(*r) < n {
+		*r = make([]T, n)
+	}
+	*r = (*r)[:n]
+	return *r
+}
+
+var prunePool = sync.Pool{New: func() any { return new(pruneScratch) }}
 
 // Subgraph returns a new graph with the same node count as g containing only
 // the given edges (deduplicated), with each new edge keeping the weight of

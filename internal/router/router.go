@@ -103,6 +103,20 @@ type Options struct {
 	// improving-candidate ranking, which stale bounds cannot soundly
 	// prune, so there the flag is inert.
 	LazyScan bool `json:"lazy_scan,omitempty"`
+	// GoalDirected turns on goal-directed shortest-path search inside the
+	// per-net caches: every cache carries the fabric's coordinate lower
+	// bound (fpga.Fabric.Bounds), so the DijkstraWithin runs behind the
+	// Steiner constructions become A* toward the net's terminal-and-pool
+	// stop set, settling strictly fewer nodes on the way; 2-pin nets
+	// short-circuit to bidirectional Dijkstra. Distances and tree costs are
+	// exact — the bound is admissible and consistent on the fabric under
+	// every congestion state — but among equal-cost shortest paths the
+	// goal-directed searches may pick a different one than plain Dijkstra
+	// (and bidirectional sums fold in a different order), so routes are not
+	// guaranteed bit-identical to the default. Off by default for exact
+	// reproducibility of the paper tables; the parity suites assert the
+	// equal-cost contract on every paper circuit.
+	GoalDirected bool `json:"goal_directed,omitempty"`
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
 	NoMoveToFront bool `json:"no_move_to_front,omitempty"`
@@ -459,6 +473,16 @@ func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (g
 	}
 	fab.BeginNet(net.Pins)
 	terms := pinNodes(fab, net.Pins)
+	if opts.GoalDirected && len(terms) == 2 && terms[0] != terms[1] {
+		// 2-pin net: a single point-to-point connection, which bidirectional
+		// Dijkstra finds settling roughly half the nodes of a one-sided
+		// search — no Steiner construction or candidate pool needed.
+		_, path, ok := fab.Graph().BiDijkstra(ctx.scratch, terms[0], terms[1])
+		if !ok {
+			return graph.Tree{}, steiner.ErrNoRoute
+		}
+		return graph.NewTree(fab.Graph(), path), nil
+	}
 	var cache *graph.SPTCache
 	var pool []graph.NodeID
 	if needsPool {
@@ -466,6 +490,9 @@ func routeNet(ctx *Context, fab *fpga.Fabric, net circuits.Net, opts Options) (g
 		cache = poolCache(fab, terms, pool)
 	} else {
 		cache = termCache(fab, terms)
+	}
+	if opts.GoalDirected {
+		cache = cache.WithBounds(fab.Bounds())
 	}
 	cache = ctx.attach(cache)
 	defer cache.Release()

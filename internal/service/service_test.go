@@ -193,6 +193,53 @@ func TestLazyScanWireParity(t *testing.T) {
 	}
 }
 
+// TestGoalDirectedWireParity pins the goal_directed wire name and its
+// plumbing: a route submitted with goal_directed must be bit-identical to
+// the same goal-directed route run in-process. (Identity against the
+// default route is deliberately NOT asserted: goal-directed searches may
+// pick different equal-cost shortest paths — see router.Options.)
+func TestGoalDirectedWireParity(t *testing.T) {
+	_, ts := harness(t, Config{Workers: 1, QueueDepth: 4})
+
+	req := []byte(`{"mode":"route","circuit":"busc","seed":1,"width":10,
+		"options":{"max_passes":4,"candidate_workers":1,"goal_directed":true}}`)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := pollUntilTerminal(t, ts.URL, st.ID, 2*time.Minute)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	var rr ResultResponse
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &rr); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+
+	spec, _ := circuits.SpecByName("busc")
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := router.Route(ckt, 10, router.Options{MaxPasses: 4, CandidateWorkers: 1, GoalDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(rr.Result)
+	want, _ := json.Marshal(wantRes)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("goal-directed wire result differs from direct route:\n%.200s\nvs\n%.200s", got, want)
+	}
+}
+
 // TestDeadlineJobCancels: a short-deadline job transitions to canceled
 // without blocking the worker pool — a job submitted afterwards completes
 // on the same single worker.

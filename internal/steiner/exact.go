@@ -53,7 +53,7 @@ func Exact(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 		dp[m] = make([]float64, nV)
 		ch[m] = make([]dwChoice, nV)
 		for v := range dp[m] {
-			dp[m][v] = graph.Inf
+			dp[m][v] = graph.Inf()
 			ch[m][v] = dwChoice{sub: 0, pred: graph.None, edge: graph.None}
 		}
 	}
@@ -77,7 +77,7 @@ func Exact(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 				dsub, drest := dp[sub], dp[rest]
 				dm := dp[mask]
 				for v := 0; v < nV; v++ {
-					if dsub[v] == graph.Inf || drest[v] == graph.Inf {
+					if dsub[v] == graph.Inf() || drest[v] == graph.Inf() {
 						continue
 					}
 					if c := dsub[v] + drest[v]; c < dm[v] {
@@ -92,7 +92,7 @@ func Exact(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 		relaxDW(g, dp[mask], ch[mask])
 	}
 
-	if dp[full][root] == graph.Inf {
+	if dp[full][root] == graph.Inf() {
 		return graph.Tree{}, ErrNoRoute
 	}
 
@@ -140,7 +140,7 @@ func ExactCost(cache *graph.SPTCache, net []graph.NodeID) (float64, error) {
 func relaxDW(g *graph.Graph, dist []float64, ch []dwChoice) {
 	q := make(pqDW, 0, len(dist)/4+1)
 	for v, d := range dist {
-		if d != graph.Inf {
+		if d != graph.Inf() {
 			q.push(pqDWItem{d, graph.NodeID(v)})
 		}
 	}
@@ -152,11 +152,11 @@ func relaxDW(g *graph.Graph, dist []float64, ch []dwChoice) {
 			continue
 		}
 		done[u] = true
-		for _, a := range g.Adj(u) {
-			if !g.Enabled(a.ID) || done[a.To] {
+		for a, w := range g.EnabledArcs(u) {
+			if done[a.To] {
 				continue
 			}
-			if nd := dist[u] + g.Weight(a.ID); nd < dist[a.To] {
+			if nd := dist[u] + w; nd < dist[a.To] {
 				dist[a.To] = nd
 				ch[a.To] = dwChoice{sub: 0, pred: u, edge: a.ID}
 				q.push(pqDWItem{nd, a.To})

@@ -51,7 +51,7 @@ func distanceMSTPairs(cache *graph.SPTCache, net []graph.NodeID) ([][2]int32, er
 	best := make([]float64, k)
 	bestFrom := make([]int32, k)
 	for i := range best {
-		best[i] = graph.Inf
+		best[i] = graph.Inf()
 		bestFrom[i] = -1
 	}
 	best[0] = 0
@@ -63,18 +63,31 @@ func distanceMSTPairs(cache *graph.SPTCache, net []graph.NodeID) ([][2]int32, er
 				u = v
 			}
 		}
-		if best[u] == graph.Inf {
+		if best[u] == graph.Inf() {
 			return nil, ErrNoRoute
 		}
 		inTree[u] = true
 		if bestFrom[u] >= 0 {
 			pairs = append(pairs, [2]int32{bestFrom[u], int32(u)})
 		}
+		// Hoist the cache's per-call root lookup out of the inner loop: once
+		// u's tree exists, read its Dist slice directly. When it doesn't,
+		// fall through to Dist (which prefers whichever endpoint is cached —
+		// the fold-order of the sum matters for bit-reproducibility) and
+		// re-check, since that call may have computed and cached u's tree.
+		tu, uok := cache.CachedTree(net[u])
 		for v := 0; v < k; v++ {
 			if inTree[v] {
 				continue
 			}
-			if d := cache.Dist(net[u], net[v]); d < best[v] {
+			var d float64
+			if uok {
+				d = tu.Dist[net[v]]
+			} else {
+				d = cache.Dist(net[u], net[v])
+				tu, uok = cache.CachedTree(net[u])
+			}
+			if d < best[v] {
 				best[v] = d
 				bestFrom[v] = int32(u)
 			}

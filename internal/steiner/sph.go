@@ -39,7 +39,7 @@ func SPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 		// dist(treeNode, term) = dist(term, treeNode).
 		bestTerm := -1
 		bestNode := graph.None
-		bestD := graph.Inf
+		bestD := graph.Inf()
 		for i, term := range net {
 			if connected[i] {
 				continue
@@ -53,7 +53,7 @@ func SPH(cache *graph.SPTCache, net []graph.NodeID) (graph.Tree, error) {
 				}
 			}
 		}
-		if bestTerm < 0 || bestD == graph.Inf {
+		if bestTerm < 0 || bestD == graph.Inf() {
 			return graph.Tree{}, ErrNoRoute
 		}
 		// Splice the shortest path from the chosen tree node to the

@@ -13,7 +13,7 @@ package steiner
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"fpgarouter/internal/graph"
 )
@@ -87,7 +87,7 @@ func NewDistanceGraph(cache *graph.SPTCache, terms []graph.NodeID) (*DistanceGra
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			d := cache.Dist(terms[i], terms[j])
-			if d == graph.Inf {
+			if d == graph.Inf() {
 				return nil, ErrNoRoute
 			}
 			dg.G.AddEdge(graph.NodeID(i), graph.NodeID(j), d)
@@ -143,12 +143,15 @@ func localMST(cache *graph.SPTCache, edges []graph.EdgeID) []graph.EdgeID {
 			remap.Slot(ge.V)
 		}
 	}
-	sort.Slice(uniq, func(a, b int) bool {
-		wa, wb := g.Weight(uniq[a]), g.Weight(uniq[b])
+	slices.SortFunc(uniq, func(a, b graph.EdgeID) int {
+		wa, wb := g.Weight(a), g.Weight(b)
 		if wa != wb {
-			return wa < wb
+			if wa < wb {
+				return -1
+			}
+			return 1
 		}
-		return uniq[a] < uniq[b]
+		return int(a) - int(b)
 	})
 	uf := graph.NewUnionFind(remap.Len())
 	mst := make([]graph.EdgeID, 0, remap.Len())
@@ -164,6 +167,6 @@ func localMST(cache *graph.SPTCache, edges []graph.EdgeID) []graph.EdgeID {
 // sortedCopy returns a sorted copy of nodes (determinism helper).
 func sortedCopy(nodes []graph.NodeID) []graph.NodeID {
 	c := append([]graph.NodeID(nil), nodes...)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	return c
 }

@@ -36,7 +36,7 @@ func ZELRestricted(cache *graph.SPTCache, net []graph.NodeID, pool []graph.NodeI
 		ti := cache.Tree(net[i])
 		for j := i + 1; j < k; j++ {
 			d := ti.Dist[net[j]]
-			if d == graph.Inf {
+			if d == graph.Inf() {
 				return graph.Tree{}, ErrNoRoute
 			}
 			m[i][j] = d
@@ -67,7 +67,7 @@ func ZELRestricted(cache *graph.SPTCache, net []graph.NodeID, pool []graph.NodeI
 	for a := 0; a < k; a++ {
 		for b := a + 1; b < k; b++ {
 			for c := b + 1; c < k; c++ {
-				best := graph.Inf
+				best := graph.Inf()
 				bestV := graph.None
 				for _, v := range cands {
 					d := distTo[a][v] + distTo[b][v] + distTo[c][v]
@@ -148,7 +148,7 @@ func primMatrix(m [][]float64) float64 {
 	inTree := make([]bool, k)
 	best := make([]float64, k)
 	for i := range best {
-		best[i] = graph.Inf
+		best[i] = graph.Inf()
 	}
 	best[0] = 0
 	total := 0.0
