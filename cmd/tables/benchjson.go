@@ -50,6 +50,13 @@ type BenchResult struct {
 	// search from plain Dijkstra beyond wall-clock noise: SSSP_AStar must
 	// expand strictly fewer nodes than SSSP_CSR/SSSP_Legacy on busc.
 	ExpandedNodesPerOp int64 `json:"expanded_nodes_per_op,omitempty"`
+	// IterationsPerOp is recorded for the RouteBuscParallel entries: the
+	// negotiated-congestion iterations one converged route performs (from
+	// one untimed instrumented run — the engine is deterministic, and
+	// worker count does not change the iteration trajectory). The
+	// Parallel1/Parallel4 pair therefore does identical routing work, so
+	// their ns_per_op ratio is the net-level parallel speedup.
+	IterationsPerOp int64 `json:"iterations_per_op,omitempty"`
 }
 
 // benchFile is the emitted document: results plus enough provenance to
@@ -220,11 +227,32 @@ func writeBenchJSON(path string, quick bool) error {
 		runSSSP(mode, s)
 		return s.Settled - before
 	}
+	// benchParallel measures the pathfinder-mode router on busc at the
+	// paper's width with a fixed net-worker count; pfIters instruments one
+	// untimed run for the iterations_per_op provenance.
+	benchParallel := func(netWorkers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := router.Route(ckt, spec.PaperIKMB, router.Options{Parallel: true, NetWorkers: netWorkers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	pfIters := func() int64 {
+		res, err := router.Route(ckt, spec.PaperIKMB, router.Options{Parallel: true})
+		if err != nil {
+			return 0
+		}
+		return int64(res.Passes)
+	}
 	type bench struct {
 		name   string
 		fn     func(b *testing.B)
 		work   func() (evals, saved int64)
 		expand func() int64
+		iters  func() int64
 	}
 	benches := []bench{
 		{name: "BenchmarkIKMB_Pooled", fn: func(b *testing.B) {
@@ -258,6 +286,8 @@ func writeBenchJSON(path string, quick bool) error {
 		benches = append(benches,
 			bench{name: "BenchmarkRouteBuscSeq", fn: benchRoute(1)},
 			bench{name: "BenchmarkRouteBuscPar", fn: benchRoute(8)},
+			bench{name: "BenchmarkRouteBuscParallel1", fn: benchParallel(1), iters: pfIters},
+			bench{name: "BenchmarkRouteBuscParallel4", fn: benchParallel(4), iters: pfIters},
 			bench{name: "BenchmarkMinWidthParallel", fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -310,6 +340,9 @@ func writeBenchJSON(path string, quick bool) error {
 		}
 		if bench.expand != nil {
 			res.ExpandedNodesPerOp = bench.expand()
+		}
+		if bench.iters != nil {
+			res.IterationsPerOp = bench.iters()
 		}
 		out.Results = append(out.Results, res)
 	}

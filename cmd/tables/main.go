@@ -35,7 +35,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced nets/passes for a fast smoke run")
 		seed       = flag.Int64("seed", 1, "benchmark synthesis / workload seed")
 		nets       = flag.Int("nets", 50, "nets per Table 1 cell")
-		passes     = flag.Int("passes", 20, "router feasibility pass threshold")
+		passes     = flag.Int("passes", 0, "router feasibility pass threshold (0 = mode default: 20 sequential, 96 parallel)")
 		svgOut     = flag.String("svg", "", "write the Figure 16 SVG to this file")
 		tradeoff   = flag.Bool("tradeoff", false, "run the BRBC / Prim-Dijkstra trade-off study (Section 2 comparison)")
 		segment    = flag.String("segmentation", "", "run the channel-segmentation study on this circuit (e.g. term1)")
@@ -46,7 +46,9 @@ func main() {
 		workers    = flag.Int("cand-workers", 0, "candidate-scan worker goroutines per net (0 = GOMAXPROCS capped at 8, 1 = sequential)")
 		singleStep = flag.Bool("single", false, "single-step Steiner-point admission (one candidate per scan round, the paper's Figure 5 template)")
 		lazy       = flag.Bool("lazy", false, "lazy-greedy candidate scans (stale-gain queue with exactness fallback; far fewer evaluations, wirelength may deviate <0.1%; arms under -single)")
-		goal       = flag.Bool("goal", false, "goal-directed search (A* toward each net's pins under the fabric's coordinate bound; exact costs, equal-cost paths may differ)")
+		goal       = flag.Bool("goal", false, "goal-directed search (A* toward each net's pins under the fabric's coordinate bound; exact costs, equal-cost paths may differ; always on under -parallel)")
+		parallel   = flag.Bool("parallel", false, "net-parallel negotiated-congestion routing (internal/pathfinder) for the table sweeps")
+		netWork    = flag.Int("net-workers", 0, "net-routing worker goroutines in -parallel mode (0 = GOMAXPROCS capped at 8; results are identical for any worker count)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -81,11 +83,11 @@ func main() {
 		if *nets > 15 {
 			*nets = 15
 		}
-		if *passes > 8 {
+		if *passes == 0 || *passes > 8 {
 			*passes = 8
 		}
 	}
-	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes, CandidateWorkers: *workers, SingleStep: *singleStep, LazyScan: *lazy, GoalDirected: *goal}
+	cfg := experiments.RouterConfig{Seed: *seed, MaxPasses: *passes, CandidateWorkers: *workers, SingleStep: *singleStep, LazyScan: *lazy, GoalDirected: *goal, Parallel: *parallel, NetWorkers: *netWork}
 	if *timeout > 0 {
 		cc, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -33,18 +33,32 @@ const GridSize = 20
 // NewCongestedGrid returns a GridSize×GridSize grid with k pre-routed nets'
 // congestion applied: each pre-routed net has 2–5 uniformly-placed pins, is
 // routed with KMB, and increments the weight of every edge it uses by 1.
+//
+// The pre-nets route through a graph.Overlay rather than by mutating the
+// grid's weights mid-sequence: each net sees base weight + accumulated
+// prices, and the prices are folded into the grid only once, after the
+// last net. The search results are identical either way (the increments
+// are small integers, exact in float64), but the overlay keeps the shared
+// graph immutable while routing — the same pattern the parallel
+// pathfinder relies on for concurrent searches.
 func NewCongestedGrid(rng *rand.Rand, k int) (*graph.GridGraph, error) {
 	g := graph.NewGrid(GridSize, GridSize, 1)
+	ov := graph.NewOverlay(g.Graph)
 	for i := 0; i < k; i++ {
 		pins := 2 + rng.Intn(4)
 		net := graph.RandomNet(rng, g.Graph, pins)
-		cache := graph.NewSPTCache(g.Graph)
+		cache := graph.NewSPTCache(g.Graph).WithOverlay(ov)
 		tree, err := steiner.KMB(cache, net)
 		if err != nil {
 			return nil, err
 		}
 		for _, id := range tree.Edges {
-			g.AddWeight(id, 1)
+			ov.AddPrice(id, 1)
+		}
+	}
+	for id, p := range ov.Prices() {
+		if p != 0 {
+			g.AddWeight(graph.EdgeID(id), p)
 		}
 	}
 	return g, nil

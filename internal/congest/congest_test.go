@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fpgarouter/internal/graph"
+	"fpgarouter/internal/steiner"
 )
 
 func TestLevelsMatchPaper(t *testing.T) {
@@ -85,5 +86,47 @@ func TestOptimalMaxPathlength(t *testing.T) {
 	// Single-pin net: zero.
 	if got := OptimalMaxPathlength(g.Graph, net[:1]); got != 0 {
 		t.Fatalf("single pin = %v", got)
+	}
+}
+
+// mutatingCongestedGrid is the historical implementation that bumped the
+// shared grid's weights after each pre-net. Kept only as the oracle for
+// TestOverlayMatchesMutation.
+func mutatingCongestedGrid(rng *rand.Rand, k int) (*graph.GridGraph, error) {
+	g := graph.NewGrid(GridSize, GridSize, 1)
+	for i := 0; i < k; i++ {
+		pins := 2 + rng.Intn(4)
+		net := graph.RandomNet(rng, g.Graph, pins)
+		cache := graph.NewSPTCache(g.Graph)
+		tree, err := steiner.KMB(cache, net)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range tree.Edges {
+			g.AddWeight(id, 1)
+		}
+	}
+	return g, nil
+}
+
+// TestOverlayMatchesMutation pins the overlay refactor of NewCongestedGrid
+// to the original weight-mutating loop: every pre-net sees base + price,
+// and since the increments are small integers (exact in float64), the two
+// must produce bit-identical final weights.
+func TestOverlayMatchesMutation(t *testing.T) {
+	for _, k := range []int{0, 10, 20} {
+		got, err := NewCongestedGrid(rand.New(rand.NewSource(7)), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mutatingCongestedGrid(rand.New(rand.NewSource(7)), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < want.NumEdges(); id++ {
+			if gw, ww := got.Weight(graph.EdgeID(id)), want.Weight(graph.EdgeID(id)); gw != ww {
+				t.Fatalf("k=%d edge %d: overlay weight %v != mutation weight %v", k, id, gw, ww)
+			}
+		}
 	}
 }

@@ -51,10 +51,22 @@ type RouterConfig struct {
 	// equal-cost shortest paths the goal-directed searches may choose
 	// differently, so tables can deviate within ties.
 	GoalDirected bool
+	// Parallel is forwarded to router.Options.Parallel: the net-parallel
+	// negotiated-congestion router (internal/pathfinder) instead of the
+	// sequential rip-up/re-route loop. Only the kmb/ikmb algorithms
+	// support it; sweeps over other algorithms fail with a clear error.
+	Parallel bool
+	// NetWorkers is forwarded to router.Options.NetWorkers: net-routing
+	// goroutines per pathfinder iteration (0 = GOMAXPROCS capped at 8;
+	// results are identical for any worker count).
+	NetWorkers int
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
-	if c.MaxPasses == 0 {
+	// Parallel mode keeps MaxPasses 0 so router.Options picks its own,
+	// larger iteration budget (pathfinder iterations are much cheaper
+	// than full rip-up passes).
+	if c.MaxPasses == 0 && !c.Parallel {
 		c.MaxPasses = 20
 	}
 	return c
@@ -98,6 +110,8 @@ func minWidthFor(spec circuits.Spec, alg string, cfg RouterConfig) (WidthRow, er
 		SingleStep:       cfg.SingleStep,
 		LazyScan:         cfg.LazyScan,
 		GoalDirected:     cfg.GoalDirected,
+		Parallel:         cfg.Parallel,
+		NetWorkers:       cfg.NetWorkers,
 	})
 	if err != nil {
 		return WidthRow{}, fmt.Errorf("%s/%s: %w", spec.Name, alg, err)
@@ -257,7 +271,7 @@ func Table5(cfg RouterConfig) ([]Table5Row, error) {
 			results = map[string]*router.Result{}
 			for _, alg := range algs {
 				progress("table 5: %s at width %d with %s", spec.Name, width, alg)
-				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers, SingleStep: cfg.SingleStep, LazyScan: cfg.LazyScan, GoalDirected: cfg.GoalDirected})
+				res, err := router.RouteContext(cfg.Ctx, ctx, ckt, width, router.Options{Algorithm: alg, MaxPasses: cfg.MaxPasses, CandidateWorkers: cfg.CandidateWorkers, SingleStep: cfg.SingleStep, LazyScan: cfg.LazyScan, GoalDirected: cfg.GoalDirected, Parallel: cfg.Parallel, NetWorkers: cfg.NetWorkers})
 				if err != nil {
 					if errors.Is(err, router.ErrUnroutable) {
 						break

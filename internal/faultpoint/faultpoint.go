@@ -43,6 +43,11 @@ const (
 	// worker (internal/service). All actions; an injected error is
 	// classified by the service's retry policy.
 	ServiceWorker = "service/worker-loop"
+	// PathfinderWorker fires before each net a pathfinder iteration worker
+	// routes (internal/pathfinder). All actions; an injected error aborts
+	// the route deterministically (lowest net index wins), a panic
+	// exercises the worker→caller panic funnel.
+	PathfinderWorker = "pathfinder/net-worker"
 )
 
 // Action selects what an armed point does when its schedule fires.

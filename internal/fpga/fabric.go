@@ -299,6 +299,17 @@ func (f *Fabric) NumWires() int { return len(f.wireEdges) }
 // WireOfEdge returns the wire owning edge id, or -1 for switch-block jogs.
 func (f *Fabric) WireOfEdge(id graph.EdgeID) WireID { return f.edgeWire[id] }
 
+// WireEdges returns the edges making up wire w: its channel segments plus
+// every connection-block tap onto it. The slice is shared and read-only.
+func (f *Fabric) WireEdges(w WireID) []graph.EdgeID { return f.wireEdges[w] }
+
+// PinNodeRange returns the half-open node ID range [lo, hi) holding all
+// logic-block pin nodes; every node below lo is a switch-block/track node.
+// The pathfinder uses this to block foreign pins without mutating enables.
+func (f *Fabric) PinNodeRange() (lo, hi graph.NodeID) {
+	return graph.NodeID(f.numSB), graph.NodeID(f.g.NumNodes())
+}
+
 // SBCandidates returns the switch-block/track nodes within the inclusive
 // switch-block bounding box [minX, maxX]×[minY, maxY] (clipped to the
 // fabric), the Steiner-candidate pool used by the router's iterated
@@ -324,6 +335,40 @@ func (f *Fabric) SBCandidates(minX, maxX, minY, maxY int) []graph.NodeID {
 		}
 	}
 	return out
+}
+
+// SteinerPool returns the Steiner-candidate switch-block nodes inside the
+// pins' bounding box plus a margin, deterministically stride-subsampled to
+// at most maxPool nodes (quality changes marginally, runtime linearly).
+// Both the sequential router and the pathfinder derive their per-net pools
+// from this one function so the two modes evaluate identical candidates.
+func (f *Fabric) SteinerPool(pins []Pin, margin, maxPool int) []graph.NodeID {
+	minX, minY := f.Cols, f.Rows
+	maxX, maxY := 0, 0
+	for _, p := range pins {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X+1 > maxX {
+			maxX = p.X + 1
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y+1 > maxY {
+			maxY = p.Y + 1
+		}
+	}
+	pool := f.SBCandidates(minX-margin, maxX+margin, minY-margin, maxY+margin)
+	if maxPool > 0 && len(pool) > maxPool {
+		stride := (len(pool) + maxPool - 1) / maxPool
+		sub := make([]graph.NodeID, 0, maxPool)
+		for i := 0; i < len(pool); i += stride {
+			sub = append(sub, pool[i])
+		}
+		pool = sub
+	}
+	return pool
 }
 
 // SBCoords inverts sbNode for switch-block/track nodes; ok is false for pin

@@ -235,6 +235,11 @@ type SPTCache struct {
 	// toward the stop set by an admissible lower bound. Distances to stop
 	// nodes stay exact; see WithBounds for the tie-break caveat.
 	bounds Bounds
+	// overlay, when non-nil, prices and blocks the cache's searches without
+	// mutating g (see Overlay); EdgeWeight reads through it so that tree
+	// constructions sorting by weight see the same effective costs the
+	// searches did. The overlay must stay quiescent while the cache is live.
+	overlay *Overlay
 	// Runs counts actual Dijkstra executions, exposed for ablation benches.
 	Runs int
 }
@@ -276,6 +281,16 @@ func (c *SPTCache) WithBounds(b Bounds) *SPTCache {
 	return c
 }
 
+// WithOverlay runs the cache's searches under an overlay: every miss sees
+// per-edge effective weight base + price and never relaxes into blocked
+// nodes. Like bounds, the overlay is part of the cached-state contract —
+// changing its prices or blocks invalidates every cached tree, so callers
+// must Release (or discard) the cache first. Returns c.
+func (c *SPTCache) WithOverlay(ov *Overlay) *SPTCache {
+	c.overlay = ov
+	return c
+}
+
 // Fork returns a per-worker view of the cache for concurrent candidate
 // evaluation. Lookups (Tree, Dist, Path, CachedTree) fall through to every
 // tree already cached in c — the shared read-only snapshot — while misses
@@ -286,7 +301,7 @@ func (c *SPTCache) WithBounds(b Bounds) *SPTCache {
 // live. Release the fork — recycling its private trees into s — before
 // returning s to the pool; the base's trees are never recycled by a fork.
 func (c *SPTCache) Fork(s *DijkstraScratch) *SPTCache {
-	return &SPTCache{g: c.g, trees: make(map[NodeID]*SPT), stop: c.stop, scratch: s, base: c, bounds: c.bounds}
+	return &SPTCache{g: c.g, trees: make(map[NodeID]*SPT), stop: c.stop, scratch: s, base: c, bounds: c.bounds, overlay: c.overlay}
 }
 
 // lookup returns the cached tree rooted at v, consulting the fork's private
@@ -337,9 +352,14 @@ func (c *SPTCache) Tree(src NodeID) *SPT {
 		return t
 	}
 	var t *SPT
-	if c.bounds != nil && c.stop != nil {
+	switch {
+	case c.overlay != nil && c.bounds != nil && c.stop != nil:
+		t = c.g.goalDirectedOverlay(c.Scratch(), src, c.stop, c.overlay, c.bounds.ToSet(c.stop))
+	case c.overlay != nil:
+		t = c.g.dijkstraOverlayWith(c.Scratch(), src, c.stop, c.overlay)
+	case c.bounds != nil && c.stop != nil:
 		t = c.g.dijkstraBoundedWith(c.Scratch(), src, c.stop, c.bounds)
-	} else {
+	default:
 		t = c.g.dijkstraWith(c.Scratch(), src, c.stop)
 	}
 	c.trees[src] = t
@@ -381,6 +401,21 @@ func (c *SPTCache) Path(u, v NodeID) []EdgeID {
 	}
 	return c.Tree(u).PathTo(v)
 }
+
+// EdgeWeight returns edge id's effective weight as seen by the cache's
+// searches: the base weight plus the overlay price when an overlay is
+// attached, the plain base weight otherwise. Tree constructions that order
+// edges by weight (localMST) must use this so their ordering agrees with
+// the distances the searches produced.
+func (c *SPTCache) EdgeWeight(id EdgeID) float64 {
+	if c.overlay != nil {
+		return c.g.Weight(id) + c.overlay.price[id]
+	}
+	return c.g.Weight(id)
+}
+
+// Overlay returns the overlay attached with WithOverlay, or nil.
+func (c *SPTCache) Overlay() *Overlay { return c.overlay }
 
 // Graph returns the underlying graph.
 func (c *SPTCache) Graph() *Graph { return c.g }

@@ -117,6 +117,21 @@ type Options struct {
 	// reproducibility of the paper tables; the parity suites assert the
 	// equal-cost contract on every paper circuit.
 	GoalDirected bool `json:"goal_directed,omitempty"`
+	// Parallel selects the net-parallel negotiated-congestion router
+	// (internal/pathfinder) instead of the paper's sequential rip-up/
+	// re-route loop: every net routes concurrently against frozen
+	// congestion prices that a per-iteration reduce updates via
+	// sub-gradient steps, until zero overflow or MaxPasses iterations.
+	// Results are deterministic for a fixed run and invariant across
+	// NetWorkers settings; goal-directed search is always on in this mode
+	// (the bit-for-bit Dijkstra tie binds only the sequential oracle).
+	// Requires Algorithm ikmb or kmb and no CriticalNets.
+	Parallel bool `json:"parallel,omitempty"`
+	// NetWorkers bounds the pathfinder's net-routing goroutines (only
+	// meaningful with Parallel). 0 selects the default (GOMAXPROCS capped
+	// at 8); 1 (or any negative value) routes nets one at a time. Routing
+	// results are bit-identical at every setting.
+	NetWorkers int `json:"net_workers,omitempty"`
 	// NoMoveToFront disables the move-to-front reordering of failed nets
 	// (for the ordering ablation benchmark).
 	NoMoveToFront bool `json:"no_move_to_front,omitempty"`
@@ -144,7 +159,13 @@ func (o Options) withDefaults() Options {
 		o.Algorithm = AlgIKMB
 	}
 	if o.MaxPasses == 0 {
-		o.MaxPasses = 20
+		// The parallel mode's iterations are much cheaper than full rip-up
+		// passes (only contested nets reroute), so its budget is larger.
+		if o.Parallel {
+			o.MaxPasses = 96
+		} else {
+			o.MaxPasses = 20
+		}
 	}
 	// Sentinel-aware defaults: the zero value still selects the documented
 	// default, while negative values (router.Zero) mean an explicit zero —
@@ -285,7 +306,12 @@ func RouteWithFabricCtx(ctx *Context, ckt *circuits.Circuit, w int, opts Options
 		return nil, nil, err
 	}
 	fab.CongestionAlpha = opts.CongestionAlpha
-	res, err := routeOnFabric(ctx, fab, ckt, opts)
+	var res *Result
+	if opts.Parallel {
+		res, err = routeParallel(ctx, fab, ckt, opts)
+	} else {
+		res, err = routeOnFabric(ctx, fab, ckt, opts)
+	}
 	return res, fab, err
 }
 
@@ -560,32 +586,7 @@ func poolCache(fab *fpga.Fabric, terms []graph.NodeID, pool []graph.NodeID) *gra
 // candidatePool returns the Steiner-candidate switch-block nodes inside the
 // net's pin bounding box plus a margin, subsampled to at most maxPool.
 func candidatePool(fab *fpga.Fabric, net circuits.Net, margin int) []graph.NodeID {
-	minX, minY := fab.Cols, fab.Rows
-	maxX, maxY := 0, 0
-	for _, p := range net.Pins {
-		if p.X < minX {
-			minX = p.X
-		}
-		if p.X+1 > maxX {
-			maxX = p.X + 1
-		}
-		if p.Y < minY {
-			minY = p.Y
-		}
-		if p.Y+1 > maxY {
-			maxY = p.Y + 1
-		}
-	}
-	pool := fab.SBCandidates(minX-margin, maxX+margin, minY-margin, maxY+margin)
-	if len(pool) > maxPool {
-		stride := (len(pool) + maxPool - 1) / maxPool
-		sub := make([]graph.NodeID, 0, maxPool)
-		for i := 0; i < len(pool); i += stride {
-			sub = append(sub, pool[i])
-		}
-		pool = sub
-	}
-	return pool
+	return fab.SteinerPool(net.Pins, margin, maxPool)
 }
 
 func pinNodes(fab *fpga.Fabric, pins []fpga.Pin) []graph.NodeID {

@@ -31,6 +31,9 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	counter("job_retries_total", "Service-job retries after transient failures.", s.JobRetries)
 	counter("worker_panics_total", "Worker panics recovered by per-job isolation.", s.JobPanics)
 	counter("partial_results_total", "Interrupted runs that returned a partial result.", s.PartialResults)
+	counter("pathfinder_iterations_total", "Negotiated-congestion iterations of the parallel router.", s.PathfinderIters)
+	counter("overflow_edges", "Overcapacity resources summed over pathfinder iterations.", s.OverflowEdges)
+	counter("price_updates_total", "History-price sub-gradient updates applied by pathfinder reduces.", s.PriceUpdates)
 
 	fmt.Fprintf(w, "# HELP %s_scan_wall_seconds_total Wall-clock time of parallel candidate scans.\n", prefix)
 	fmt.Fprintf(w, "# TYPE %s_scan_wall_seconds_total counter\n", prefix)

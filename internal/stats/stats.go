@@ -45,6 +45,9 @@ type Collector struct {
 	jobRetries   atomic.Int64
 	jobPanics    atomic.Int64
 	partials     atomic.Int64
+	pfIters      atomic.Int64
+	pfOverflow   atomic.Int64
+	pfPriceUpds  atomic.Int64
 	congestion   [CongestionBuckets]atomic.Int64
 }
 
@@ -169,6 +172,18 @@ func (c *Collector) AddPartialResult() {
 	c.partials.Add(1)
 }
 
+// AddPathfinderIteration records one negotiated-congestion iteration of the
+// parallel router: how many resources ended the iteration over capacity and
+// how many history-price sub-gradient updates the reduce applied.
+func (c *Collector) AddPathfinderIteration(overflow, priceUpdates int64) {
+	if c == nil {
+		return
+	}
+	c.pfIters.Add(1)
+	c.pfOverflow.Add(overflow)
+	c.pfPriceUpds.Add(priceUpdates)
+}
+
 // RecordCongestion bins each channel span's utilization fraction
 // (used/width) into the congestion histogram; the router records the final
 // fabric state of each successfully routed circuit.
@@ -210,7 +225,12 @@ type Snapshot struct {
 	JobRetries     int64
 	JobPanics      int64
 	PartialResults int64
-	Congestion     [CongestionBuckets]int64
+	// Pathfinder counters: negotiated-congestion iterations, overflowed
+	// resources summed over iterations, and history-price updates applied.
+	PathfinderIters int64
+	OverflowEdges   int64
+	PriceUpdates    int64
+	Congestion      [CongestionBuckets]int64
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -240,6 +260,10 @@ func (c *Collector) Snapshot() Snapshot {
 		JobRetries:     c.jobRetries.Load(),
 		JobPanics:      c.jobPanics.Load(),
 		PartialResults: c.partials.Load(),
+
+		PathfinderIters: c.pfIters.Load(),
+		OverflowEdges:   c.pfOverflow.Load(),
+		PriceUpdates:    c.pfPriceUpds.Load(),
 	}
 	for i := range c.congestion {
 		s.Congestion[i] = c.congestion[i].Load()
@@ -266,6 +290,10 @@ func (s Snapshot) String() string {
 			par = float64(s.ScanCPU) / float64(s.ScanWall)
 		}
 		fmt.Fprintf(&b, "  parallel scans     %d (wall %v, cpu %v, parallelism %.2fx)\n", s.ParallelScans, s.ScanWall.Round(time.Microsecond), s.ScanCPU.Round(time.Microsecond), par)
+	}
+	if s.PathfinderIters > 0 {
+		fmt.Fprintf(&b, "  pathfinder         iterations %d, overflow edges %d, price updates %d\n",
+			s.PathfinderIters, s.OverflowEdges, s.PriceUpdates)
 	}
 	if s.JobRetries+s.JobPanics+s.PartialResults > 0 {
 		fmt.Fprintf(&b, "  fault tolerance    retries %d, recovered panics %d, partial results %d\n",

@@ -143,8 +143,11 @@ func localMST(cache *graph.SPTCache, edges []graph.EdgeID) []graph.EdgeID {
 			remap.Slot(ge.V)
 		}
 	}
+	// Ordering by the cache's effective weight (base + overlay price, when an
+	// overlay is attached) keeps the MST consistent with the searches that
+	// produced the edge set; with no overlay this is exactly g.Weight.
 	slices.SortFunc(uniq, func(a, b graph.EdgeID) int {
-		wa, wb := g.Weight(a), g.Weight(b)
+		wa, wb := cache.EdgeWeight(a), cache.EdgeWeight(b)
 		if wa != wb {
 			if wa < wb {
 				return -1
