@@ -22,6 +22,7 @@ import (
 	"fpgarouter/internal/fpga"
 	"fpgarouter/internal/graph"
 	"fpgarouter/internal/router"
+	"fpgarouter/internal/stats"
 	"fpgarouter/internal/steiner"
 )
 
@@ -57,6 +58,13 @@ type BenchResult struct {
 	// Parallel1/Parallel4 pair therefore does identical routing work, so
 	// their ns_per_op ratio is the net-level parallel speedup.
 	IterationsPerOp int64 `json:"iterations_per_op,omitempty"`
+	// EdgesRippedPerOp / EdgesRetainedPerOp are recorded for the
+	// RouteZ03Parallel entries: previous-tree edges discarded and kept
+	// across one converged route's iterations. The Full entry rips
+	// everything (retained 0); the Incremental entry's retained share is
+	// the partial rip-up working.
+	EdgesRippedPerOp   int64 `json:"edges_ripped_per_op,omitempty"`
+	EdgesRetainedPerOp int64 `json:"edges_retained_per_op,omitempty"`
 }
 
 // benchFile is the emitted document: results plus enough provenance to
@@ -345,6 +353,55 @@ func writeBenchJSON(path string, quick bool) error {
 			res.IterationsPerOp = bench.iters()
 		}
 		out.Results = append(out.Results, res)
+	}
+	if !quick {
+		// The z03 stress case is the incremental rip-up showcase: the
+		// hardest paper circuit, ~10 minutes per converged full-reroute run —
+		// far too slow for testing.Benchmark's auto-scaling, and the engine
+		// is deterministic, so one hand-timed run is the benchmark. A stats
+		// collector supplies the rip-up provenance for each entry.
+		z03spec, ok := circuits.SpecByName("z03")
+		if !ok {
+			return fmt.Errorf("bench-json: circuit z03 not registered")
+		}
+		z03, err := circuits.Synthesize(z03spec, 1)
+		if err != nil {
+			return err
+		}
+		benchZ03 := func(name string, incremental bool) (BenchResult, error) {
+			fmt.Fprintf(os.Stderr, "bench-json: running %s (single hand-timed run)\n", name)
+			col := stats.New()
+			rctx := router.NewContext(col)
+			defer rctx.Close()
+			start := time.Now()
+			res, err := router.RouteCtx(rctx, z03, z03spec.PaperIKMB, router.Options{Parallel: true, IncrementalReroute: incremental})
+			if err != nil {
+				return BenchResult{}, fmt.Errorf("%s: %w", name, err)
+			}
+			snap := col.Snapshot()
+			return BenchResult{
+				Name:               name,
+				Iterations:         1,
+				NsPerOp:            float64(time.Since(start).Nanoseconds()),
+				GoMaxProcs:         runtime.GOMAXPROCS(0),
+				IterationsPerOp:    int64(res.Passes),
+				EdgesRippedPerOp:   snap.EdgesRipped,
+				EdgesRetainedPerOp: snap.EdgesRetained,
+			}, nil
+		}
+		for _, z := range []struct {
+			name string
+			inc  bool
+		}{
+			{"BenchmarkRouteZ03ParallelFull", false},
+			{"BenchmarkRouteZ03ParallelIncremental", true},
+		} {
+			res, err := benchZ03(z.name, z.inc)
+			if err != nil {
+				return err
+			}
+			out.Results = append(out.Results, res)
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -120,6 +120,15 @@ type Config struct {
 	// relative to the current present factor. 0 selects the default (1e-3);
 	// negative disables jitter.
 	JitterEps float64
+	// Incremental enables partial rip-up-and-reroute in the frozen-price
+	// (Jacobi) iterations: a contested net keeps the fragment of its
+	// previous tree that touches no overflowed resource and reconnects its
+	// orphaned pins by multi-source search seeded from the fragment, while
+	// reduce and reprice run as deltas over only the changed state (see
+	// incremental.go). The Gauss-Seidel endgame still reroutes in full —
+	// its live pricing is what settles the last standoffs. Determinism is
+	// unchanged: results stay bit-identical across Workers settings.
+	Incremental bool
 	// Seed seeds the jitter hash; fixed seed ⇒ bit-identical results.
 	Seed uint64
 	// Stats receives iteration and per-net counters when non-nil.
@@ -127,6 +136,10 @@ type Config struct {
 	// Cancel, when non-nil, is polled at iteration boundaries; a non-nil
 	// return aborts the run with that error and a partial Result.
 	Cancel func() error
+	// hooks lets in-package tests observe the engine after each reprice and
+	// reduce — the incremental-vs-full parity suite. Always nil in
+	// production.
+	hooks *debugHooks
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +214,15 @@ type Result struct {
 	FailedNets []int // net indices without a committable tree
 	NetRoutes  int64 // total per-net route executions across iterations
 	History    []IterStat
+	// Rip-up accounting (summed over iterations ≥ 2, where a previous tree
+	// exists): EdgesRipped counts previous-tree edges discarded before
+	// rerouting, EdgesRetained the edges kept by partial rip-up, and
+	// IncrementalReroutes the nets that reconnected from a retained
+	// fragment instead of rebuilding. Full-reroute mode rips everything, so
+	// it reports EdgesRipped with zero retained.
+	EdgesRipped         int64
+	EdgesRetained       int64
+	IncrementalReroutes int64
 }
 
 // engine holds one run's precomputed fabric facts and shared iteration
@@ -215,10 +237,13 @@ type engine struct {
 	// Capacity-one resources: wires 0..numWires-1 (a wire's segments and
 	// taps live and die together, exactly as CommitNet claims them), then
 	// one resource per switch-block jog edge (CommitNet disables used jogs
-	// individually). edgeRes maps every edge to its resource.
-	numWires int
-	edgeRes  []int32
-	jogEdges []graph.EdgeID
+	// individually). edgeRes maps every edge to its resource; resource r's
+	// edges are resEdgeIx[resOff[r]:resOff[r+1]], a prefix-summed flat
+	// index built once at setup (ascending edge IDs within each resource).
+	numWires  int
+	edgeRes   []int32
+	resOff    []int32
+	resEdgeIx []graph.EdgeID
 
 	// blockedTmpl has every logic-block pin node blocked: pins are not
 	// routing switches, so a route may only enter the pins of its own net.
@@ -234,6 +259,20 @@ type engine struct {
 
 	resEp []uint32 // reduce-side per-resource epoch marks
 	ep    uint32
+
+	// workers persists the routing goroutines' private state (scratch,
+	// overlay, reconnect buffers) across iterations; releaseWorkers returns
+	// everything to the pools once per run instead of once per iteration.
+	workers []*worker
+
+	// inc is the incremental-mode delta state (nil when Config.Incremental
+	// is off); iterRipped/iterRetained/iterIncRe accumulate the current
+	// iteration's rip-up accounting (summed from workers after the barrier,
+	// so worker-count invariant).
+	inc        *incState
+	iterRipped int64
+	iterRetain int64
+	iterIncRe  int64
 }
 
 // Route routes every net of nets on fab's routing graph. The fabric must be
@@ -257,15 +296,32 @@ func Route(fab *fpga.Fabric, nets []circuits.Net, cfg Config) (*Result, error) {
 	}
 	e.numWires = fab.NumWires()
 	e.edgeRes = make([]int32, g.NumEdges())
+	numJogs := 0
 	for id := 0; id < g.NumEdges(); id++ {
 		if w := fab.WireOfEdge(graph.EdgeID(id)); w >= 0 {
 			e.edgeRes[id] = int32(w)
 		} else {
-			e.edgeRes[id] = int32(e.numWires + len(e.jogEdges))
-			e.jogEdges = append(e.jogEdges, graph.EdgeID(id))
+			e.edgeRes[id] = int32(e.numWires + numJogs)
+			numJogs++
 		}
 	}
-	numRes := e.numWires + len(e.jogEdges)
+	numRes := e.numWires + numJogs
+	// Prefix-summed resource→edge index: count, scan, scatter in edge-ID
+	// order, so each resource's edge list comes out ascending.
+	e.resOff = make([]int32, numRes+1)
+	for _, r := range e.edgeRes {
+		e.resOff[r+1]++
+	}
+	for r := 0; r < numRes; r++ {
+		e.resOff[r+1] += e.resOff[r]
+	}
+	e.resEdgeIx = make([]graph.EdgeID, len(e.edgeRes))
+	cur := make([]int32, numRes)
+	copy(cur, e.resOff[:numRes])
+	for id, r := range e.edgeRes {
+		e.resEdgeIx[cur[r]] = graph.EdgeID(id)
+		cur[r]++
+	}
 	e.blockedTmpl = make([]uint64, (g.NumNodes()+63)/64)
 	lo, hi := fab.PinNodeRange()
 	for v := lo; v < hi; v++ {
@@ -276,26 +332,36 @@ func Route(fab *fpga.Fabric, nets []circuits.Net, cfg Config) (*Result, error) {
 	e.sharedPrice = make([]float64, g.NumEdges())
 	e.trees = make([]graph.Tree, len(nets))
 	e.resEp = make([]uint32, numRes)
+	if cfg.Incremental {
+		e.inc = &incState{
+			resActive:   make([]bool, numRes),
+			touchedMark: make([]bool, numRes),
+		}
+	}
 	return e.run()
 }
 
-// resEdges returns every edge of resource r: a wire's segment and tap
-// edges, or the single jog edge.
+// resEdges returns every edge of resource r (a wire's segment and tap
+// edges, or the single jog edge) from the flat prefix-summed index.
 func (e *engine) resEdges(r int32) []graph.EdgeID {
-	if int(r) < e.numWires {
-		return e.fab.WireEdges(fpga.WireID(r))
-	}
-	j := int(r) - e.numWires
-	return e.jogEdges[j : j+1]
+	return e.resEdgeIx[e.resOff[r]:e.resOff[r+1]]
 }
 
 // run is the iteration loop: price → parallel route → reduce → update.
 func (e *engine) run() (*Result, error) {
+	defer e.releaseWorkers()
 	res := &Result{Trees: e.trees}
 	reroute := make([]int32, 0, len(e.nets))
 	for i := range e.nets {
 		reroute = append(reroute, int32(i))
 	}
+	// Incremental mode ends with one polish pass: reconnected trees are
+	// accretions of patches that can lock in detours, so on first reaching
+	// zero overflow every net is rebuilt in full, sequentially under live
+	// prices (the Gauss-Seidel machinery), and the loop re-confirms zero
+	// overflow before declaring convergence. One extra pass buys back the
+	// wirelength the patches gave up.
+	polished, forceSeq := false, false
 	for iter := 1; iter <= e.cfg.MaxIters; iter++ {
 		if e.cfg.Cancel != nil {
 			if err := e.cfg.Cancel(); err != nil {
@@ -317,19 +383,51 @@ func (e *engine) run() (*Result, error) {
 				presFac = e.cfg.PresMax
 			}
 		}
-		e.reprice(presFac)
+		if e.inc != nil {
+			e.repriceDelta(presFac)
+		} else {
+			e.reprice(presFac)
+		}
+		if h := e.cfg.hooks; h != nil && h.afterReprice != nil {
+			h.afterReprice(e, iter, presFac)
+		}
 		var err error
-		if iter >= 2 && (len(reroute) <= e.cfg.SeqBelow || iter > e.cfg.SeqAfter) {
+		seq := forceSeq || iter >= 2 && (len(reroute) <= e.cfg.SeqBelow || iter > e.cfg.SeqAfter)
+		forceSeq = false
+		if seq {
 			err = e.routeSeq(reroute, presFac)
 		} else {
+			if e.inc != nil {
+				// Snapshot the rerouted nets' current trees (slice headers
+				// only — routing always builds fresh edge slices) so the
+				// delta reduce can subtract them after workers overwrite.
+				e.inc.prevSnap = e.inc.prevSnap[:0]
+				for _, i32 := range reroute {
+					e.inc.prevSnap = append(e.inc.prevSnap, e.trees[i32])
+				}
+			}
 			err = e.routeAll(reroute, iter, presFac)
 		}
 		if err != nil {
 			e.fail(res, reroute)
 			return res, err
 		}
-		overflow, priceUpdates, histSum := e.reduce()
+		var overflow, priceUpdates int
+		var histSum float64
+		if e.inc != nil {
+			overflow, priceUpdates, histSum = e.reduceDelta(reroute, seq)
+		} else {
+			overflow, priceUpdates, histSum = e.reduce()
+		}
+		if h := e.cfg.hooks; h != nil && h.afterReduce != nil {
+			h.afterReduce(e, iter)
+		}
 		e.cfg.Stats.AddPathfinderIteration(int64(overflow), int64(priceUpdates))
+		e.cfg.Stats.AddIncremental(e.iterIncRe, e.iterRipped, e.iterRetain)
+		res.EdgesRipped += e.iterRipped
+		res.EdgesRetained += e.iterRetain
+		res.IncrementalReroutes += e.iterIncRe
+		e.iterRipped, e.iterRetain, e.iterIncRe = 0, 0, 0
 		res.History = append(res.History, IterStat{
 			Rerouted:     len(reroute),
 			Overflow:     overflow,
@@ -338,6 +436,14 @@ func (e *engine) run() (*Result, error) {
 		})
 		res.NetRoutes += int64(len(reroute))
 		if overflow == 0 {
+			if e.inc != nil && !polished && iter < e.cfg.MaxIters {
+				polished, forceSeq = true, true
+				reroute = reroute[:0]
+				for i := range e.nets {
+					reroute = append(reroute, int32(i))
+				}
+				continue
+			}
 			res.Converged = true
 			return res, nil
 		}
@@ -372,8 +478,45 @@ type netError struct {
 	err error
 }
 
+// acquireWorkers grows the engine's persistent worker pool to n and returns
+// the first n workers. Scratches and overlays are created once per run and
+// reused by every iteration; callers refresh overlay prices and blocks
+// before fanning out.
+func (e *engine) acquireWorkers(n int) []*worker {
+	for len(e.workers) < n {
+		s := graph.AcquireScratch()
+		e.workers = append(e.workers, &worker{
+			scratch: s,
+			ov:      graph.NewOverlay(e.g),
+			resEp:   make([]uint32, len(e.resEp)),
+			runs0:   s.Runs,
+			pushes0: s.HeapPushes,
+		})
+	}
+	return e.workers[:n]
+}
+
+// releaseWorkers returns every pooled scratch at the end of the run (via
+// run's defer, so abort and panic paths are covered too), discarding those
+// whose goroutine panicked mid-route, and records the run's total SSSP
+// work.
+func (e *engine) releaseWorkers() {
+	var runs, pushes int64
+	for _, wk := range e.workers {
+		if wk.poisoned {
+			graph.DiscardScratch(wk.scratch)
+			continue
+		}
+		runs += wk.scratch.Runs - wk.runs0
+		pushes += wk.scratch.HeapPushes - wk.pushes0
+		graph.ReleaseScratch(wk.scratch)
+	}
+	e.workers = e.workers[:0]
+	e.cfg.Stats.AddSSSP(runs, pushes)
+}
+
 // worker is one net-routing goroutine's private state, reused across
-// iterations.
+// iterations (the engine keeps workers alive for the whole run).
 type worker struct {
 	scratch *graph.DijkstraScratch
 	ov      *graph.Overlay
@@ -381,6 +524,22 @@ type worker struct {
 	stop    []graph.NodeID
 	resEp   []uint32
 	ep      uint32
+	// Reconnect buffers (incremental mode): kept/out hold the surviving and
+	// rebuilt edge sets, seeds/orphans the search frontier, parent the
+	// union-find over dense fragment slots, seen the epoch-stamped
+	// fragment-membership marks.
+	kept    []graph.EdgeID
+	out     []graph.EdgeID
+	seeds   []graph.Seed
+	orphans []graph.NodeID
+	parent  []int32
+	seen    []uint32
+	seenEp  uint32
+	// Per-iteration rip-up accounting, drained into the engine after the
+	// iteration barrier (integer sums over the net list — order-free).
+	ripped      int64
+	retained    int64
+	increroutes int64
 	// baseline scratch counters for the run-end SSSP accounting.
 	runs0, pushes0 int64
 	poisoned       bool
@@ -402,33 +561,11 @@ func (e *engine) routeAll(list []int32, iter int, presFac float64) error {
 	if nw < 1 {
 		nw = 1
 	}
-	workers := make([]*worker, nw)
-	for k := range workers {
-		s := graph.AcquireScratch()
-		wk := &worker{
-			scratch: s,
-			ov:      graph.NewOverlay(e.g),
-			resEp:   make([]uint32, len(e.resEp)),
-			runs0:   s.Runs,
-			pushes0: s.HeapPushes,
-		}
+	workers := e.acquireWorkers(nw)
+	for _, wk := range workers {
 		copy(wk.ov.Prices(), e.sharedPrice)
 		wk.ov.LoadBlocked(e.blockedTmpl)
-		workers[k] = wk
 	}
-	defer func() {
-		var runs, pushes int64
-		for _, wk := range workers {
-			if wk.poisoned {
-				graph.DiscardScratch(wk.scratch)
-				continue
-			}
-			runs += wk.scratch.Runs - wk.runs0
-			pushes += wk.scratch.HeapPushes - wk.pushes0
-			graph.ReleaseScratch(wk.scratch)
-		}
-		e.cfg.Stats.AddSSSP(runs, pushes)
-	}()
 
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -469,6 +606,12 @@ func (e *engine) routeAll(list []int32, iter int, presFac float64) error {
 			panic(wk.panicked)
 		}
 	}
+	for _, wk := range workers {
+		e.iterRipped += wk.ripped
+		e.iterRetain += wk.retained
+		e.iterIncRe += wk.increroutes
+		wk.ripped, wk.retained, wk.increroutes = 0, 0, 0
+	}
 	var worst *netError
 	for _, wk := range workers {
 		if wk.fail != nil && (worst == nil || wk.fail.idx < worst.idx) {
@@ -491,28 +634,21 @@ func (e *engine) routeAll(list []int32, iter int, presFac float64) error {
 // the caller's goroutine; a first error aborts at the lowest net index by
 // construction.
 func (e *engine) routeSeq(list []int32, presFac float64) error {
-	s := graph.AcquireScratch()
-	wk := &worker{
-		scratch: s,
-		ov:      graph.NewOverlay(e.g),
-		resEp:   make([]uint32, len(e.resEp)),
-		runs0:   s.Runs,
-		pushes0: s.HeapPushes,
-	}
+	wk := e.acquireWorkers(1)[0]
 	copy(wk.ov.Prices(), e.sharedPrice)
 	wk.ov.LoadBlocked(e.blockedTmpl)
 	defer func() {
 		if p := recover(); p != nil {
-			graph.DiscardScratch(s)
+			// Poison the scratch; run's releaseWorkers discards it.
+			wk.poisoned = true
 			panic(p)
 		}
-		// Normal or error exit: the scratch is healthy, pool it.
-		e.cfg.Stats.AddSSSP(s.Runs-wk.runs0, s.HeapPushes-wk.pushes0)
-		graph.ReleaseScratch(s)
 	}()
 	pr := wk.ov.Prices()
 	// adjust moves one tree in or out of live usage and re-prices every
-	// edge of the touched resources.
+	// edge of the touched resources. In incremental mode it also feeds the
+	// delta bookkeeping: usage is live here, so the reduce skips its delta
+	// pass and only these marks tell the next reprice what moved.
 	adjust := func(tree graph.Tree, delta int32) {
 		wk.ep++
 		for _, id := range tree.Edges {
@@ -522,6 +658,12 @@ func (e *engine) routeSeq(list []int32, presFac float64) error {
 			}
 			wk.resEp[r] = wk.ep
 			e.usage[r] += delta
+			if e.inc != nil {
+				e.touchRes(r)
+				if delta > 0 {
+					e.activateRes(r)
+				}
+			}
 			p := e.hist[r] + presFac*float64(e.usage[r])
 			for _, re := range e.resEdges(r) {
 				pr[re] = p
@@ -533,6 +675,7 @@ func (e *engine) routeSeq(list []int32, presFac float64) error {
 		if err := faultpoint.Hit(faultpoint.PathfinderWorker); err != nil {
 			return fmt.Errorf("pathfinder: net %d: %w", idx, err)
 		}
+		e.iterRipped += int64(len(e.trees[idx].Edges))
 		adjust(e.trees[idx], -1)
 		net := e.nets[idx]
 		terms := wk.terms[:0]
@@ -610,7 +753,22 @@ func (e *engine) routeNet(wk *worker, idx, iter int, presFac float64) (graph.Tre
 			}
 		}
 	}
-	tree, err := e.construct(wk, terms, net.Pins)
+	var (
+		tree graph.Tree
+		err  error
+		done bool
+	)
+	if e.inc != nil && iter >= 2 {
+		tree, done = e.reconnect(wk, idx, terms)
+	}
+	if !done {
+		if iter >= 2 {
+			// Full rebuild rips the whole previous tree (also the
+			// incremental fallback path when no fragment survived).
+			wk.ripped += int64(len(e.trees[idx].Edges))
+		}
+		tree, err = e.construct(wk, terms, net.Pins)
+	}
 	for _, id := range e.priced {
 		pr[id] = e.sharedPrice[id]
 	}

@@ -288,6 +288,51 @@ func TestParallelWireParity(t *testing.T) {
 	}
 }
 
+// TestIncrementalWireParity pins the incremental_reroute wire name: a route
+// submitted with it must be bit-identical to the same incremental
+// net-parallel route run in-process.
+func TestIncrementalWireParity(t *testing.T) {
+	_, ts := harness(t, Config{Workers: 1, QueueDepth: 4})
+
+	req := []byte(`{"mode":"route","circuit":"term1","seed":1,"width":10,
+		"options":{"parallel":true,"incremental_reroute":true}}`)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := pollUntilTerminal(t, ts.URL, st.ID, 2*time.Minute)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	var rr ResultResponse
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &rr); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+
+	spec, _ := circuits.SpecByName("term1")
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := router.Route(ckt, 10, router.Options{Parallel: true, IncrementalReroute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(rr.Result)
+	want, _ := json.Marshal(wantRes)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("incremental wire result differs from direct incremental route:\n%.200s\nvs\n%.200s", got, want)
+	}
+}
+
 // TestDeadlineJobCancels: a short-deadline job transitions to canceled
 // without blocking the worker pool — a job submitted afterwards completes
 // on the same single worker.

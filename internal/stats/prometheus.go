@@ -34,6 +34,10 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	counter("pathfinder_iterations_total", "Negotiated-congestion iterations of the parallel router.", s.PathfinderIters)
 	counter("overflow_edges", "Overcapacity resources summed over pathfinder iterations.", s.OverflowEdges)
 	counter("price_updates_total", "History-price sub-gradient updates applied by pathfinder reduces.", s.PriceUpdates)
+	counter("incremental_reroutes_total", "Nets reconnected from a retained fragment by partial rip-up.", s.IncrementalReroutes)
+	counter("edges_ripped_total", "Previous-tree edges discarded before rerouting.", s.EdgesRipped)
+	counter("edges_retained_total", "Previous-tree edges kept by partial rip-up.", s.EdgesRetained)
+	counter("reduce_edges_skipped_total", "Tree edges the delta reduce skipped versus a full recount.", s.ReduceEdgesSkipped)
 
 	fmt.Fprintf(w, "# HELP %s_scan_wall_seconds_total Wall-clock time of parallel candidate scans.\n", prefix)
 	fmt.Fprintf(w, "# TYPE %s_scan_wall_seconds_total counter\n", prefix)

@@ -48,6 +48,10 @@ type Collector struct {
 	pfIters      atomic.Int64
 	pfOverflow   atomic.Int64
 	pfPriceUpds  atomic.Int64
+	incReroutes  atomic.Int64
+	edgesRipped  atomic.Int64
+	edgesKept    atomic.Int64
+	reduceSkip   atomic.Int64
 	congestion   [CongestionBuckets]atomic.Int64
 }
 
@@ -184,6 +188,28 @@ func (c *Collector) AddPathfinderIteration(overflow, priceUpdates int64) {
 	c.pfPriceUpds.Add(priceUpdates)
 }
 
+// AddIncremental records one pathfinder iteration's rip-up accounting:
+// reroutes nets reconnected from a retained fragment (incremental mode),
+// ripped previous-tree edges discarded before rerouting (both modes), and
+// retained previous-tree edges kept by partial rip-up.
+func (c *Collector) AddIncremental(reroutes, ripped, retained int64) {
+	if c == nil {
+		return
+	}
+	c.incReroutes.Add(reroutes)
+	c.edgesRipped.Add(ripped)
+	c.edgesKept.Add(retained)
+}
+
+// AddDeltaReduce records tree edges the delta reduce did not have to walk
+// compared to the full recount over every net's tree.
+func (c *Collector) AddDeltaReduce(skipped int64) {
+	if c == nil {
+		return
+	}
+	c.reduceSkip.Add(skipped)
+}
+
 // RecordCongestion bins each channel span's utilization fraction
 // (used/width) into the congestion histogram; the router records the final
 // fabric state of each successfully routed circuit.
@@ -230,7 +256,14 @@ type Snapshot struct {
 	PathfinderIters int64
 	OverflowEdges   int64
 	PriceUpdates    int64
-	Congestion      [CongestionBuckets]int64
+	// Incremental rip-up accounting: nets reconnected from a retained
+	// fragment, previous-tree edges ripped vs retained, and tree edges the
+	// delta reduce skipped walking relative to a full recount.
+	IncrementalReroutes int64
+	EdgesRipped         int64
+	EdgesRetained       int64
+	ReduceEdgesSkipped  int64
+	Congestion          [CongestionBuckets]int64
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -264,6 +297,11 @@ func (c *Collector) Snapshot() Snapshot {
 		PathfinderIters: c.pfIters.Load(),
 		OverflowEdges:   c.pfOverflow.Load(),
 		PriceUpdates:    c.pfPriceUpds.Load(),
+
+		IncrementalReroutes: c.incReroutes.Load(),
+		EdgesRipped:         c.edgesRipped.Load(),
+		EdgesRetained:       c.edgesKept.Load(),
+		ReduceEdgesSkipped:  c.reduceSkip.Load(),
 	}
 	for i := range c.congestion {
 		s.Congestion[i] = c.congestion[i].Load()
@@ -294,6 +332,10 @@ func (s Snapshot) String() string {
 	if s.PathfinderIters > 0 {
 		fmt.Fprintf(&b, "  pathfinder         iterations %d, overflow edges %d, price updates %d\n",
 			s.PathfinderIters, s.OverflowEdges, s.PriceUpdates)
+	}
+	if s.EdgesRipped+s.EdgesRetained+s.IncrementalReroutes+s.ReduceEdgesSkipped > 0 {
+		fmt.Fprintf(&b, "  incremental        reroutes %d, edges ripped %d, edges retained %d, reduce edges skipped %d\n",
+			s.IncrementalReroutes, s.EdgesRipped, s.EdgesRetained, s.ReduceEdgesSkipped)
 	}
 	if s.JobRetries+s.JobPanics+s.PartialResults > 0 {
 		fmt.Fprintf(&b, "  fault tolerance    retries %d, recovered panics %d, partial results %d\n",
