@@ -136,6 +136,26 @@ type Config struct {
 	// Cancel, when non-nil, is polled at iteration boundaries; a non-nil
 	// return aborts the run with that error and a partial Result.
 	Cancel func() error
+	// CheckpointFn, when non-nil, receives a serializable snapshot of the
+	// run at iteration boundaries chosen by CheckpointEvery and
+	// CheckpointPeriod. Emission never perturbs the run: results with and
+	// without checkpointing are bit-identical. The callback runs on the
+	// engine's goroutine; it should not block for long.
+	CheckpointFn func(*Checkpoint)
+	// CheckpointEvery emits a checkpoint every Nth iteration, counted in
+	// absolute iteration numbers so a resumed run keeps the original
+	// cadence (0 disables the iteration trigger).
+	CheckpointEvery int
+	// CheckpointPeriod emits a checkpoint when this much wall-clock time
+	// passed since the last one, evaluated at iteration boundaries
+	// (0 disables the time trigger).
+	CheckpointPeriod time.Duration
+	// Resume restarts a run from a prior Checkpoint instead of iteration 1.
+	// The circuit, fabric, and deterministic Config knobs must match the
+	// checkpointed run (guarded fields are validated; an incompatible
+	// checkpoint fails the run). The resumed run's Result is bit-identical
+	// to the uninterrupted run's.
+	Resume *Checkpoint
 	// hooks lets in-package tests observe the engine after each reprice and
 	// reduce — the incremental-vs-full parity suite. Always nil in
 	// production.
@@ -273,6 +293,9 @@ type engine struct {
 	iterRipped int64
 	iterRetain int64
 	iterIncRe  int64
+
+	// lastCkpt anchors Config.CheckpointPeriod's wall-clock trigger.
+	lastCkpt time.Time
 }
 
 // Route routes every net of nets on fab's routing graph. The fabric must be
@@ -352,9 +375,6 @@ func (e *engine) run() (*Result, error) {
 	defer e.releaseWorkers()
 	res := &Result{Trees: e.trees}
 	reroute := make([]int32, 0, len(e.nets))
-	for i := range e.nets {
-		reroute = append(reroute, int32(i))
-	}
 	// Incremental mode ends with one polish pass: reconnected trees are
 	// accretions of patches that can lock in detours, so on first reaching
 	// zero overflow every net is rebuilt in full, sequentially under live
@@ -362,7 +382,21 @@ func (e *engine) run() (*Result, error) {
 	// overflow before declaring convergence. One extra pass buys back the
 	// wirelength the patches gave up.
 	polished, forceSeq := false, false
-	for iter := 1; iter <= e.cfg.MaxIters; iter++ {
+	startIter := 1
+	if ck := e.cfg.Resume; ck != nil {
+		if err := e.restore(ck, res); err != nil {
+			return res, err
+		}
+		startIter = ck.Iteration + 1
+		reroute = append(reroute, ck.Reroute...)
+		polished, forceSeq = ck.Polished, ck.ForceSeq
+	} else {
+		for i := range e.nets {
+			reroute = append(reroute, int32(i))
+		}
+	}
+	e.lastCkpt = time.Now()
+	for iter := startIter; iter <= e.cfg.MaxIters; iter++ {
 		if e.cfg.Cancel != nil {
 			if err := e.cfg.Cancel(); err != nil {
 				e.fail(res, reroute)
@@ -436,21 +470,25 @@ func (e *engine) run() (*Result, error) {
 		})
 		res.NetRoutes += int64(len(reroute))
 		if overflow == 0 {
-			if e.inc != nil && !polished && iter < e.cfg.MaxIters {
-				polished, forceSeq = true, true
-				reroute = reroute[:0]
-				for i := range e.nets {
-					reroute = append(reroute, int32(i))
-				}
-				continue
+			if !(e.inc != nil && !polished && iter < e.cfg.MaxIters) {
+				res.Converged = true
+				return res, nil
 			}
-			res.Converged = true
-			return res, nil
+			polished, forceSeq = true, true
+			reroute = reroute[:0]
+			for i := range e.nets {
+				reroute = append(reroute, int32(i))
+			}
+		} else {
+			// Selective rip-up: only nets touching an overflowed resource
+			// renegotiate; everyone else keeps their tree (and keeps pricing
+			// it through the usage term).
+			reroute = e.contested(reroute[:0])
 		}
-		// Selective rip-up: only nets touching an overflowed resource
-		// renegotiate; everyone else keeps their tree (and keeps pricing it
-		// through the usage term).
-		reroute = e.contested(reroute[:0])
+		// Checkpoint at the boundary, after the next iteration's rip-up set
+		// and polish flags are decided — the snapshot then fully determines
+		// the continuation.
+		e.maybeCheckpoint(iter, res, reroute, polished, forceSeq)
 	}
 	res.Overflow = e.overflowCount()
 	e.fail(res, e.contested(nil))

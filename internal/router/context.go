@@ -11,8 +11,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"fpgarouter/internal/graph"
+	"fpgarouter/internal/pathfinder"
 	"fpgarouter/internal/stats"
 )
 
@@ -31,6 +33,25 @@ type Context struct {
 	// pass and per-net boundaries. Bound per call by the *Context entry
 	// points (RouteContext, MinWidthContext); nil means never canceled.
 	cc context.Context
+	// durable, when non-nil, enables pathfinder checkpoint/resume for
+	// parallel-mode routes run under this context. It is plumbing, not wire
+	// format: the service binds it per job (see bindDurable), keeping
+	// Options the pure request shape.
+	durable *DurableConfig
+}
+
+// DurableConfig carries the checkpoint/resume wiring of one durable job
+// into the pathfinder. Only parallel-mode Route calls honor it; the
+// sequential router and MinWidth probes ignore it (their state is cheap to
+// recompute, so recovery just restarts them).
+type DurableConfig struct {
+	// CheckpointEvery / CheckpointPeriod set the emission cadence (see
+	// pathfinder.Config). CheckpointFn receives each snapshot.
+	CheckpointEvery  int
+	CheckpointPeriod time.Duration
+	CheckpointFn     func(*pathfinder.Checkpoint)
+	// Resume restarts the route from a prior snapshot.
+	Resume *pathfinder.Checkpoint
 }
 
 // ErrCanceled reports that a routing run was abandoned because its
@@ -61,6 +82,16 @@ func (ctx *Context) bind(cc context.Context) func() {
 	prev := ctx.cc
 	ctx.cc = cc
 	return func() { ctx.cc = prev }
+}
+
+// BindDurable attaches checkpoint/resume wiring for the next route run
+// under this context, returning a restore function for the previous
+// binding. Like bind, it lets a worker's long-lived Context carry per-job
+// durability state without widening every call signature.
+func (ctx *Context) BindDurable(dc *DurableConfig) func() {
+	prev := ctx.durable
+	ctx.durable = dc
+	return func() { ctx.durable = prev }
 }
 
 // NewContext returns a routing context backed by a pooled Dijkstra scratch,

@@ -44,6 +44,12 @@ func routeParallel(ctx *Context, fab *fpga.Fabric, ckt *circuits.Circuit, opts O
 		Stats:       ctx.Stats,
 		Cancel:      ctx.checkCanceled,
 	}
+	if dc := ctx.durable; dc != nil {
+		cfg.CheckpointEvery = dc.CheckpointEvery
+		cfg.CheckpointPeriod = dc.CheckpointPeriod
+		cfg.CheckpointFn = dc.CheckpointFn
+		cfg.Resume = dc.Resume
+	}
 	pres, perr := pathfinder.Route(fab, ckt.Nets, cfg)
 	if pres == nil {
 		return nil, perr

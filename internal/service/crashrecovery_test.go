@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/faultpoint"
+	"fpgarouter/internal/router"
+)
+
+// TestHelperRoutedProcess is not a test: it is the child process body for
+// TestChaosCrashRecoverySIGKILL, re-executed from the test binary with
+// ROUTED_HELPER_PROCESS=1. It opens a durable service over the shared
+// directory (checkpointing every iteration), publishes its listen address
+// through a file, and serves until the parent SIGKILLs it. With
+// ROUTED_HELPER_SLOW=1 it arms a per-net pathfinder delay so the parent
+// can reliably observe checkpoints before pulling the plug — Delay never
+// perturbs results, so the crashed-and-resumed route stays comparable to
+// an uninterrupted reference.
+func TestHelperRoutedProcess(t *testing.T) {
+	if os.Getenv("ROUTED_HELPER_PROCESS") != "1" {
+		t.Skip("child-process body for TestChaosCrashRecoverySIGKILL")
+	}
+	if os.Getenv("ROUTED_HELPER_SLOW") == "1" {
+		faultpoint.Arm(faultpoint.PathfinderWorker, faultpoint.Plan{
+			Action: faultpoint.Delay, Delay: 15 * time.Millisecond, Every: 1,
+		})
+	}
+	svc, _, err := OpenDurable(os.Getenv("ROUTED_HELPER_DIR"), Config{
+		Workers: 1, QueueDepth: 4, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the address atomically so the parent never reads a torn file.
+	addrFile := os.Getenv("ROUTED_HELPER_ADDRFILE")
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	http.Serve(ln, svc.Handler()) // runs until the parent kills the process
+}
+
+// TestChaosCrashRecoverySIGKILL is the end-to-end durability proof: a real
+// routed process is SIGKILLed mid-route after it has written checkpoints,
+// a fresh process recovers from the same journal directory, resumes the
+// route from the latest snapshot, and the final result is bit-identical
+// to an uninterrupted in-process route of the same request.
+func TestChaosCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	start := func(slow bool) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperRoutedProcess$")
+		cmd.Env = append(os.Environ(),
+			"ROUTED_HELPER_PROCESS=1",
+			"ROUTED_HELPER_DIR="+filepath.Join(dir, "durable"),
+			"ROUTED_HELPER_ADDRFILE="+addrFile,
+		)
+		if slow {
+			cmd.Env = append(cmd.Env, "ROUTED_HELPER_SLOW=1")
+		}
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitAddr := func() string {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				return "http://" + string(b)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatal("helper process never published its listen address")
+		return ""
+	}
+
+	// Phase 1: slow helper, submit, wait for checkpoints, SIGKILL mid-route.
+	cmd1 := start(true)
+	base1 := waitAddr()
+	var st Status
+	if code, body := postJSON(t, base1+"/jobs", routeTerm1, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", code, body)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cur Status
+		getJSON(t, base1+"/jobs/"+st.ID, &cur)
+		if cur.State == StateRunning && cur.Checkpoints >= 2 {
+			break
+		}
+		if cur.State == StateDone {
+			t.Fatal("route finished before the crash could be injected; raise the helper delay")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoints observed before deadline (last status %+v)", cur)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd1.Process.Kill() // SIGKILL: no drain, no journal close, no cleanup
+	cmd1.Wait()
+	os.Remove(addrFile)
+
+	// Phase 2: fresh full-speed process over the same directory.
+	cmd2 := start(false)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	base2 := waitAddr()
+	final := pollUntilTerminal(t, base2, st.ID, 2*time.Minute)
+	if final.State != StateDone || !final.Recovered {
+		t.Fatalf("recovered job ended %+v, want done and recovered", final)
+	}
+	var rr ResultResponse
+	if code := getJSON(t, base2+"/jobs/"+st.ID+"/result", &rr); code != http.StatusOK {
+		t.Fatalf("recovered result: HTTP %d", code)
+	}
+
+	spec, ok := circuits.SpecByName("term1")
+	if !ok {
+		t.Fatal("term1 spec missing")
+	}
+	ckt, err := circuits.Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := router.Route(ckt, 10, router.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(rr.Result)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantB) {
+		t.Fatalf("resumed result differs from uninterrupted route:\n%.300s\nvs\n%.300s", got, wantB)
+	}
+}

@@ -3,6 +3,8 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -50,11 +52,27 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
+// decodeStrict decodes one JSON body with every leniency turned off:
+// unknown fields, an empty body, and trailing data after the value are all
+// rejected (the golden-body tests pin the exact error strings clients see).
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return errors.New("empty request body")
+		}
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -72,8 +90,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeError(w, code, err)
 }
 
+// validListStates are the ?state= filter values GET /jobs accepts.
+var validListStates = map[State]bool{
+	StateQueued: true, StateRunning: true, StateDone: true,
+	StateFailed: true, StateCanceled: true,
+}
+
+// handleList serves GET /jobs with optional bounds: ?limit=N keeps only
+// the newest N jobs (in submission order), ?state=S keeps one lifecycle
+// state. Invalid values are 400s, not silently ignored — a typo'd filter
+// returning everything would be worse than an error.
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Jobs())
+	q := r.URL.Query()
+	limit := 0
+	if lv := q.Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer (got %q)", lv))
+			return
+		}
+		limit = n
+	}
+	state := State(q.Get("state"))
+	if state != "" && !validListStates[state] {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("state must be one of queued, running, done, failed, canceled (got %q)", state))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.JobsFiltered(state, limit))
 }
 
 // jobFor resolves {id}, writing the 404 itself when absent.
@@ -146,6 +189,11 @@ type readyBody struct {
 	Reason        string `json:"reason,omitempty"` // why not ready
 	QueuedJobs    int    `json:"queued_jobs"`
 	QueueCapacity int    `json:"queue_capacity"`
+	// Degraded reports reduced durability that does NOT fail readiness: a
+	// journal flipped read-only (disk full) keeps serving jobs in-memory,
+	// and restarting the pod would only lose the in-flight work it still
+	// has. Operators alert on this field; orchestrators keep routing.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // handleReadyz reports whether the service can usefully accept a new job:
@@ -156,6 +204,9 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Ready:         true,
 		QueuedJobs:    len(s.queue),
 		QueueCapacity: s.cfg.QueueDepth,
+	}
+	if err := s.JournalDegraded(); err != nil {
+		b.Degraded = "journal read-only: " + err.Error()
 	}
 	switch {
 	case s.Draining():

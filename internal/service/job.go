@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fpgarouter/internal/circuits"
+	"fpgarouter/internal/pathfinder"
 	"fpgarouter/internal/router"
 )
 
@@ -110,6 +111,16 @@ type Status struct {
 	// Stack is the recovered goroutine stack when the job failed from a
 	// panic after exhausting its retry budget.
 	Stack string `json:"stack,omitempty"`
+	// Checkpoints counts pathfinder snapshots persisted for this job (only
+	// durable parallel-mode routes write any).
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// Recovered marks a job re-enqueued (or reconstructed) by journal
+	// replay after a restart rather than submitted to this process.
+	Recovered bool `json:"recovered,omitempty"`
+	// CacheHit marks a job answered from the durable result store at
+	// submission: an identical (mode, circuit, width, options) request was
+	// already completed, so the job went straight to done.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // ResultResponse is the GET /jobs/{id}/result body. Complete distinguishes
@@ -133,26 +144,37 @@ type Job struct {
 	id      string
 	mode    Mode
 	ckt     *circuits.Circuit
+	cktName string // survives recovery of terminal jobs, whose ckt stays nil
 	opts    router.Options
 	width   int // route mode: channel width; minwidth mode: start width
 	timeout time.Duration
 	retries int           // transient-failure retry budget
 	backoff time.Duration // base backoff before the first retry
 
+	// Durability plumbing (zero in a purely in-memory service): key is the
+	// content address of (mode, circuit, width, options) — the result-store
+	// and idempotency key; resume is the checkpoint recovery loaded for a
+	// re-enqueued parallel route.
+	key    string
+	resume *pathfinder.Checkpoint
+
 	ctx    context.Context // canceled by Cancel, shutdown, or job timeout
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	err       string
-	stack     string // recovered panic stack, when the job failed from one
-	result    *router.Result
-	complete  bool // result is a finished answer, not a partial snapshot
-	attempts  int
-	outWidth  int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu          sync.Mutex
+	state       State
+	err         string
+	stack       string // recovered panic stack, when the job failed from one
+	result      *router.Result
+	complete    bool // result is a finished answer, not a partial snapshot
+	attempts    int
+	outWidth    int
+	checkpoints int
+	recovered   bool
+	cacheHit    bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // resolveJob validates a submit request into a runnable job (without ID or
@@ -202,6 +224,7 @@ func resolveJob(req *SubmitRequest) (*Job, error) {
 			return nil, errors.New("netlist has no nets")
 		}
 		job.ckt = req.Netlist
+		job.cktName = req.Netlist.Name
 	} else {
 		spec, ok := circuits.SpecByName(req.Circuit)
 		if !ok {
@@ -216,6 +239,7 @@ func resolveJob(req *SubmitRequest) (*Job, error) {
 			return nil, err
 		}
 		job.ckt = ckt
+		job.cktName = ckt.Name
 		paperBest = spec.PaperIKMB
 	}
 	switch req.Mode {
@@ -237,17 +261,20 @@ func resolveJob(req *SubmitRequest) (*Job, error) {
 }
 
 // Cancel requests cooperative cancellation: a queued job flips to canceled
-// immediately; a running job's router run aborts at its next pass/net
-// boundary and the worker records the canceled state.
-func (j *Job) Cancel() {
+// immediately (reported by the return, so the service journals the terminal
+// event exactly once); a running job's router run aborts at its next
+// pass/net boundary and the worker records the canceled state.
+func (j *Job) Cancel() (immediate bool) {
 	j.mu.Lock()
 	if j.state == StateQueued {
 		j.state = StateCanceled
 		j.err = "canceled before execution"
 		j.finished = time.Now()
+		immediate = true
 	}
 	j.mu.Unlock()
 	j.cancel()
+	return immediate
 }
 
 // begin transitions queued → running; it reports false if the job was
@@ -297,6 +324,14 @@ func (j *Job) finish(width int, res *router.Result, err error, attempts int) Sta
 	return j.state
 }
 
+// noteCheckpoint counts one persisted pathfinder snapshot for the status
+// report.
+func (j *Job) noteCheckpoint() {
+	j.mu.Lock()
+	j.checkpoints++
+	j.mu.Unlock()
+}
+
 // StateNow returns the job's current lifecycle state.
 func (j *Job) StateNow() State {
 	j.mu.Lock()
@@ -311,13 +346,16 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:          j.id,
 		Mode:        j.mode,
-		Circuit:     j.ckt.Name,
+		Circuit:     j.cktName,
 		State:       j.state,
 		SubmittedAt: j.submitted,
 		Error:       j.err,
 		Width:       j.outWidth,
 		Attempts:    j.attempts,
 		Stack:       j.stack,
+		Checkpoints: j.checkpoints,
+		Recovered:   j.recovered,
+		CacheHit:    j.cacheHit,
 	}
 	if !j.started.IsZero() {
 		t := j.started

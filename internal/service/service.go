@@ -13,16 +13,20 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fpgarouter/internal/faultpoint"
+	"fpgarouter/internal/journal"
+	"fpgarouter/internal/pathfinder"
 	"fpgarouter/internal/router"
 	"fpgarouter/internal/stats"
 )
@@ -38,6 +42,19 @@ type Config struct {
 	// Stats receives router work counters from every worker (default: a
 	// fresh collector, exposed at /metrics).
 	Stats *stats.Collector
+	// Journal, when non-nil, receives every job lifecycle event as a
+	// write-ahead record; Results, when non-nil, is the content-addressed
+	// store holding completed results (the cache behind idempotent
+	// resubmission) and pathfinder checkpoints. Leave both nil for a purely
+	// in-memory service — every durability site is nil-guarded. Recover
+	// (and the OpenDurable convenience) wires both from a directory.
+	Journal *journal.Journal
+	Results *journal.Store
+	// CheckpointEvery / CheckpointPeriod set the pathfinder checkpoint
+	// cadence for durable parallel-mode routes (both 0 = no checkpoints;
+	// see pathfinder.Config).
+	CheckpointEvery  int
+	CheckpointPeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,23 +120,79 @@ const (
 
 // New starts a service: the queue is allocated and the workers spawn
 // immediately, each owning a long-lived router.Context bound to the shared
-// stats collector.
+// stats collector. For a durable service that first replays its journal,
+// use Recover (or OpenDurable) instead.
 func New(cfg Config) *Service {
+	s := newService(cfg, 0)
+	s.startWorkers()
+	return s
+}
+
+// newService builds the service without spawning workers, so Recover can
+// enqueue replayed jobs first. extraQueue widens the channel beyond
+// QueueDepth to hold recovered jobs without eating admission capacity.
+func newService(cfg Config, extraQueue int) *Service {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
-	s := &Service{
+	return &Service{
 		cfg:        cfg,
 		stats:      cfg.Stats,
 		base:       base,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      make(chan *Job, cfg.QueueDepth+extraQueue),
 	}
-	for i := 0; i < cfg.Workers; i++ {
+}
+
+func (s *Service) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+}
+
+// journalAppend writes one lifecycle record to the journal, if any. Append
+// failures degrade durability, never availability: the error is counted and
+// the service keeps running in-memory (/readyz reports the degradation).
+func (s *Service) journalAppend(rec journal.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	rec.Time = time.Now().UTC()
+	if err := s.cfg.Journal.Append(rec); err != nil {
+		s.stats.AddJournalError()
+	}
+}
+
+// JournalDegraded returns the sticky append failure that flipped the
+// journal read-only (nil while healthy or with no journal).
+func (s *Service) JournalDegraded() error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	return s.cfg.Journal.DegradedCause()
+}
+
+// contentKey computes the job's result-store address: the hash of
+// everything that determines the answer — mode, the resolved circuit
+// (synthesis seed folded in), the width, and the routing options. Timeout
+// and retry policy are deliberately excluded.
+func contentKey(job *Job) (string, error) {
+	cktJSON, err := json.Marshal(job.ckt)
+	if err != nil {
+		return "", err
+	}
+	optsJSON, err := json.Marshal(job.opts)
+	if err != nil {
+		return "", err
+	}
+	return journal.Key([]byte(job.mode), cktJSON, []byte(strconv.Itoa(job.width)), optsJSON), nil
+}
+
+// storedResult is the result-store blob of a completed job.
+type storedResult struct {
+	Width  int            `json:"width"`
+	Result *router.Result `json:"result"`
 }
 
 // Stats returns the collector shared by all workers.
@@ -129,6 +202,11 @@ func (s *Service) Stats() *stats.Collector { return s.stats }
 // It fails with ErrDraining after Shutdown began, ErrQueueFull when the
 // bounded queue has no room, and an ErrBadRequest-classified validation
 // error for malformed requests.
+//
+// With a result store configured, submission is idempotent on content: a
+// request whose (mode, circuit, width, options) was already completed is
+// answered from the store — the returned status is already done, with
+// CacheHit set — without consuming a queue slot.
 func (s *Service) Submit(req *SubmitRequest) (Status, error) {
 	job, err := resolveJob(req)
 	if err != nil {
@@ -136,6 +214,18 @@ func (s *Service) Submit(req *SubmitRequest) (Status, error) {
 	}
 	job.ctx, job.cancel = context.WithCancel(s.base)
 	job.submitted = time.Now()
+	var reqRaw json.RawMessage
+	if s.cfg.Journal != nil || s.cfg.Results != nil {
+		if job.key, err = contentKey(job); err != nil {
+			return Status{}, Classify(ErrBadRequest, err)
+		}
+		// Re-marshal the decoded request (not the caller's raw bytes) so the
+		// journaled form round-trips through the same struct on replay.
+		if reqRaw, err = json.Marshal(req); err != nil {
+			return Status{}, Classify(ErrBadRequest, err)
+		}
+	}
+	cached, haveCached := s.lookupResult(job.key)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,17 +235,43 @@ func (s *Service) Submit(req *SubmitRequest) (Status, error) {
 	}
 	s.seq++
 	job.id = fmt.Sprintf("job-%06d", s.seq)
-	select {
-	case s.queue <- job:
-	default:
-		s.seq--
-		s.rejected.Add(1)
-		return Status{}, ErrQueueFull
+	if haveCached {
+		job.state = StateDone
+		job.cacheHit = true
+		job.complete = true
+		job.outWidth = cached.Width
+		job.result = cached.Result
+		job.started = job.submitted
+		job.finished = time.Now()
+	} else {
+		select {
+		case s.queue <- job:
+		default:
+			s.seq--
+			s.rejected.Add(1)
+			return Status{}, ErrQueueFull
+		}
 	}
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
 	s.submitted.Add(1)
+	s.journalAppend(journal.Record{Event: journal.EvSubmitted, JobID: job.id, Key: job.key, Request: reqRaw})
+	if haveCached {
+		s.completed[cDone].Add(1)
+		s.journalAppend(journal.Record{Event: journal.EvDone, JobID: job.id, Key: job.key, Width: job.outWidth})
+	}
 	return job.Status(), nil
+}
+
+// lookupResult consults the result store for a completed answer under key
+// (a miss, a read error, or no store all report false).
+func (s *Service) lookupResult(key string) (storedResult, bool) {
+	var stored storedResult
+	if s.cfg.Results == nil || key == "" {
+		return stored, false
+	}
+	ok, err := s.cfg.Results.Get(key, &stored)
+	return stored, ok && err == nil && stored.Result != nil
 }
 
 // Job looks up a job by ID.
@@ -168,11 +284,25 @@ func (s *Service) Job(id string) (*Job, bool) {
 
 // Jobs returns every job's status in submission order.
 func (s *Service) Jobs() []Status {
+	return s.JobsFiltered("", 0)
+}
+
+// JobsFiltered returns job statuses in submission order, optionally
+// restricted to one lifecycle state, and optionally truncated to the
+// newest limit entries (limit 0 = unbounded).
+func (s *Service) JobsFiltered(state State, limit int) []Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Status, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.jobs[id].Status())
+		st := s.jobs[id].Status()
+		if state != "" && st.State != state {
+			continue
+		}
+		out = append(out, st)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	return out
 }
@@ -183,7 +313,11 @@ func (s *Service) Cancel(id string) (Status, bool) {
 	if !ok {
 		return Status{}, false
 	}
-	j.Cancel()
+	if j.Cancel() {
+		// Canceled while still queued: no worker will run finish for it, so
+		// the terminal record is journaled here.
+		s.journalAppend(journal.Record{Event: journal.EvCanceled, JobID: id, Error: "canceled before execution"})
+	}
 	return j.Status(), true
 }
 
@@ -243,10 +377,11 @@ func (s *Service) worker() {
 // panic forced a discard.
 func (s *Service) run(rc *router.Context, job *Job) *router.Context {
 	if !job.begin() {
-		// Canceled while queued (explicitly or by shutdown's grace expiry).
+		// Canceled while queued; Service.Cancel journaled the terminal event.
 		s.completed[cCanceled].Add(1)
 		return rc
 	}
+	s.journalAppend(journal.Record{Event: journal.EvStarted, JobID: job.id})
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	start := time.Now()
@@ -293,12 +428,63 @@ func (s *Service) run(rc *router.Context, job *Job) *router.Context {
 	switch job.finish(width, res, err, attempts) {
 	case StateDone:
 		s.completed[cDone].Add(1)
+		// Persist the result BEFORE journaling done: a crash between the two
+		// replays the job as interrupted and re-runs it — never as done with
+		// a missing result.
+		if s.cfg.Results != nil && job.key != "" {
+			if perr := s.cfg.Results.Put(job.key, storedResult{Width: width, Result: res}); perr != nil {
+				s.stats.AddJournalError()
+			}
+		}
+		s.journalAppend(journal.Record{Event: journal.EvDone, JobID: job.id, Key: job.key, Width: width, Attempts: attempts})
 	case StateFailed:
 		s.completed[cFailed].Add(1)
+		s.journalAppend(journal.Record{Event: journal.EvFailed, JobID: job.id, Attempts: attempts, Error: err.Error()})
 	default:
 		s.completed[cCanceled].Add(1)
+		s.journalAppend(journal.Record{Event: journal.EvCanceled, JobID: job.id, Attempts: attempts, Error: err.Error()})
+	}
+	if s.cfg.Results != nil {
+		// Terminal either way: the resume checkpoint has served its purpose.
+		s.cfg.Results.Delete(checkpointKey(job.id))
 	}
 	return rc
+}
+
+// checkpointKey is the result-store key filing a job's latest pathfinder
+// checkpoint.
+func checkpointKey(jobID string) string { return "ckpt-" + jobID }
+
+// durableFor returns the checkpoint/resume wiring for one attempt of job,
+// or nil when the job cannot checkpoint: only parallel-mode routes have
+// serializable engine state (sequential and minwidth runs are cheap to
+// restart from scratch, so recovery just re-runs them).
+func (s *Service) durableFor(job *Job) *router.DurableConfig {
+	if s.cfg.Results == nil || job.mode != ModeRoute || !job.opts.Parallel {
+		return nil
+	}
+	if s.cfg.CheckpointEvery <= 0 && s.cfg.CheckpointPeriod <= 0 && job.resume == nil {
+		return nil
+	}
+	return &router.DurableConfig{
+		CheckpointEvery:  s.cfg.CheckpointEvery,
+		CheckpointPeriod: s.cfg.CheckpointPeriod,
+		CheckpointFn:     func(ck *pathfinder.Checkpoint) { s.persistCheckpoint(job, ck) },
+		Resume:           job.resume,
+	}
+}
+
+// persistCheckpoint files one pathfinder snapshot under the job's
+// checkpoint key and journals the iteration it covers. Persistence errors
+// degrade durability only — the route keeps running.
+func (s *Service) persistCheckpoint(job *Job, ck *pathfinder.Checkpoint) {
+	if err := s.cfg.Results.Put(checkpointKey(job.id), ck); err != nil {
+		s.stats.AddJournalError()
+		return
+	}
+	s.stats.AddCheckpointWritten()
+	job.noteCheckpoint()
+	s.journalAppend(journal.Record{Event: journal.EvCheckpointed, JobID: job.id, Iteration: ck.Iteration})
 }
 
 // attempt executes one try of the job under panic isolation: a panic on the
@@ -318,6 +504,10 @@ func (s *Service) attempt(rc *router.Context, cc context.Context, job *Job) (wid
 		}
 	}()
 	faultpoint.Check(faultpoint.ServiceWorker)
+	if dc := s.durableFor(job); dc != nil {
+		restore := rc.BindDurable(dc)
+		defer restore()
+	}
 	switch job.mode {
 	case ModeRoute:
 		res, err = router.RouteContext(cc, rc, job.ckt, job.width, job.opts)

@@ -38,6 +38,10 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) {
 	counter("edges_ripped_total", "Previous-tree edges discarded before rerouting.", s.EdgesRipped)
 	counter("edges_retained_total", "Previous-tree edges kept by partial rip-up.", s.EdgesRetained)
 	counter("reduce_edges_skipped_total", "Tree edges the delta reduce skipped versus a full recount.", s.ReduceEdgesSkipped)
+	counter("checkpoints_written_total", "Pathfinder checkpoints persisted to the durable store.", s.CheckpointsWritten)
+	counter("jobs_recovered_total", "Interrupted jobs re-enqueued by journal replay at startup.", s.JobsRecovered)
+	counter("journal_replay_records_total", "Intact journal records read back at startup.", s.JournalReplayRecords)
+	counter("journal_append_errors_total", "Journal appends dropped after read-only degradation.", s.JournalAppendErrors)
 
 	fmt.Fprintf(w, "# HELP %s_scan_wall_seconds_total Wall-clock time of parallel candidate scans.\n", prefix)
 	fmt.Fprintf(w, "# TYPE %s_scan_wall_seconds_total counter\n", prefix)

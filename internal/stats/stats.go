@@ -52,6 +52,10 @@ type Collector struct {
 	edgesRipped  atomic.Int64
 	edgesKept    atomic.Int64
 	reduceSkip   atomic.Int64
+	ckptWritten  atomic.Int64
+	jobsRecov    atomic.Int64
+	jrnlReplayed atomic.Int64
+	jrnlErrors   atomic.Int64
 	congestion   [CongestionBuckets]atomic.Int64
 }
 
@@ -210,6 +214,41 @@ func (c *Collector) AddDeltaReduce(skipped int64) {
 	c.reduceSkip.Add(skipped)
 }
 
+// AddCheckpointWritten records one pathfinder checkpoint persisted to the
+// durable store.
+func (c *Collector) AddCheckpointWritten() {
+	if c == nil {
+		return
+	}
+	c.ckptWritten.Add(1)
+}
+
+// AddJobsRecovered records n interrupted jobs re-enqueued (or results
+// re-served) by journal replay at startup.
+func (c *Collector) AddJobsRecovered(n int64) {
+	if c == nil {
+		return
+	}
+	c.jobsRecov.Add(n)
+}
+
+// AddJournalReplay records n intact journal records read back at startup.
+func (c *Collector) AddJournalReplay(n int64) {
+	if c == nil {
+		return
+	}
+	c.jrnlReplayed.Add(n)
+}
+
+// AddJournalError records one journal append dropped because the journal
+// degraded (or was degrading) to read-only.
+func (c *Collector) AddJournalError() {
+	if c == nil {
+		return
+	}
+	c.jrnlErrors.Add(1)
+}
+
 // RecordCongestion bins each channel span's utilization fraction
 // (used/width) into the congestion histogram; the router records the final
 // fabric state of each successfully routed circuit.
@@ -263,7 +302,14 @@ type Snapshot struct {
 	EdgesRipped         int64
 	EdgesRetained       int64
 	ReduceEdgesSkipped  int64
-	Congestion          [CongestionBuckets]int64
+	// Durability counters: pathfinder checkpoints persisted, jobs recovered
+	// by journal replay, journal records replayed at startup, and appends
+	// dropped after the journal degraded to read-only.
+	CheckpointsWritten   int64
+	JobsRecovered        int64
+	JournalReplayRecords int64
+	JournalAppendErrors  int64
+	Congestion           [CongestionBuckets]int64
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each field is
@@ -302,6 +348,11 @@ func (c *Collector) Snapshot() Snapshot {
 		EdgesRipped:         c.edgesRipped.Load(),
 		EdgesRetained:       c.edgesKept.Load(),
 		ReduceEdgesSkipped:  c.reduceSkip.Load(),
+
+		CheckpointsWritten:   c.ckptWritten.Load(),
+		JobsRecovered:        c.jobsRecov.Load(),
+		JournalReplayRecords: c.jrnlReplayed.Load(),
+		JournalAppendErrors:  c.jrnlErrors.Load(),
 	}
 	for i := range c.congestion {
 		s.Congestion[i] = c.congestion[i].Load()
@@ -340,6 +391,10 @@ func (s Snapshot) String() string {
 	if s.JobRetries+s.JobPanics+s.PartialResults > 0 {
 		fmt.Fprintf(&b, "  fault tolerance    retries %d, recovered panics %d, partial results %d\n",
 			s.JobRetries, s.JobPanics, s.PartialResults)
+	}
+	if s.CheckpointsWritten+s.JobsRecovered+s.JournalReplayRecords+s.JournalAppendErrors > 0 {
+		fmt.Fprintf(&b, "  durability         checkpoints written %d, jobs recovered %d, journal records replayed %d, append errors %d\n",
+			s.CheckpointsWritten, s.JobsRecovered, s.JournalReplayRecords, s.JournalAppendErrors)
 	}
 	avg := time.Duration(0)
 	if n := s.NetsRouted + s.NetFailures; n > 0 {
